@@ -1,0 +1,45 @@
+"""E8 — Example 3: exponential UCQ rewritings for sticky sets.
+
+Paper claim: for the sticky family of Example 3 (predicates ``P_0 … P_n`` of
+arity ``n + 2``), every UCQ rewriting of the atomic query ``P_0(0,…,0,0,1)``
+contains a disjunct over ``P_n`` with exactly ``2^n`` atoms, so the function
+``f_S`` cannot be polynomial in the arity.  The benchmark regenerates the
+rewriting for growing ``n`` and reports the size of the deepest disjunct.
+"""
+
+import pytest
+
+from repro.datamodel import Predicate
+from repro.dependencies import is_sticky_set
+from repro.rewriting import RewritingConfig, rewrite, ucq_rewritable_height_bound
+from repro.workloads.paper_examples import example3_query, example3_tgds
+from conftest import print_series
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_example3_rewriting_size(benchmark, n):
+    query = example3_query(n)
+    tgds = example3_tgds(n)
+    assert is_sticky_set(tgds)
+
+    rewriting = benchmark(
+        lambda: rewrite(query, tgds, RewritingConfig(max_disjuncts=20_000, max_rounds=100))
+    )
+
+    deepest = Predicate(f"P{n}", n + 2)
+    deepest_sizes = [
+        len(disjunct) for disjunct in rewriting if disjunct.predicates() == {deepest}
+    ]
+    print_series(
+        f"E8: Example 3 with n = {n}",
+        [
+            ("arity", n + 2),
+            ("rewriting disjuncts", len(rewriting)),
+            ("rewriting height", rewriting.height()),
+            ("size of the P_n-only disjunct", max(deepest_sizes) if deepest_sizes else None),
+            ("expected 2^n", 2 ** n),
+            ("height bound f_S(q, Σ)", ucq_rewritable_height_bound(query, tgds)),
+        ],
+    )
+    assert deepest_sizes
+    assert max(deepest_sizes) == 2 ** n

@@ -1,0 +1,74 @@
+"""E3 — Theorem 7 / Figure 2: the PCP reduction behind undecidability for full tgds.
+
+Paper claim: from any PCP instance one can build a Boolean CQ ``q`` and a set
+``Σ`` of full tgds such that the instance has a solution iff ``q`` is
+equivalent under ``Σ`` to an acyclic (path-shaped) CQ.  Undecidability cannot
+be "measured"; what the benchmark regenerates is the reduction itself: on
+solvable instances the solution path query is Σ-equivalent to ``q``, on
+unsolvable ones no candidate word up to a bound yields an equivalent path.
+"""
+
+import pytest
+
+from repro.containment import ContainmentConfig, ContainmentOutcome, equivalent_under_tgds
+from repro.core import PCPInstance, pcp_query, pcp_tgds, solution_path_query, word_path_query
+from conftest import print_series
+
+
+SOLVABLE = PCPInstance(("a", "ab"), ("aa", "b"))          # solution: 0, 1 → "aab"
+UNSOLVABLE = PCPInstance(("ab", "b"), ("ba", "bb"))
+
+
+def test_pcp_positive_direction(benchmark):
+    query = pcp_query()
+    tgds = pcp_tgds(SOLVABLE)
+    solution = SOLVABLE.has_solution_bounded(3)
+    path = solution_path_query(SOLVABLE, solution)
+    config = ContainmentConfig(max_steps=50_000)
+
+    outcome = benchmark(lambda: equivalent_under_tgds(query, path, tgds, config))
+
+    print_series(
+        "E3: solvable PCP instance",
+        [
+            ("instance", f"top={SOLVABLE.top} bottom={SOLVABLE.bottom}"),
+            ("bounded solution", solution),
+            ("solution word", SOLVABLE.solution_word(solution)),
+            ("path query Σ-equivalent to q", outcome is ContainmentOutcome.TRUE),
+            ("|Σ|", len(tgds)),
+            ("|q|", len(query)),
+        ],
+    )
+    assert outcome is ContainmentOutcome.TRUE
+
+
+@pytest.mark.parametrize("max_word_length", [3])
+def test_pcp_negative_direction(benchmark, max_word_length):
+    query = pcp_query()
+    tgds = pcp_tgds(UNSOLVABLE)
+    config = ContainmentConfig(max_steps=50_000)
+
+    def scan():
+        import itertools
+
+        equivalent = []
+        for length in range(1, max_word_length + 1):
+            for letters in itertools.product("ab", repeat=length):
+                word = "".join(letters)
+                candidate = word_path_query(word)
+                if equivalent_under_tgds(query, candidate, tgds, config) is ContainmentOutcome.TRUE:
+                    equivalent.append(word)
+        return equivalent
+
+    equivalent_words = benchmark(scan)
+
+    print_series(
+        "E3: unsolvable PCP instance",
+        [
+            ("instance", f"top={UNSOLVABLE.top} bottom={UNSOLVABLE.bottom}"),
+            ("bounded solution", UNSOLVABLE.has_solution_bounded(3)),
+            (f"words up to length {max_word_length} with equivalent path query", equivalent_words),
+        ],
+    )
+    assert UNSOLVABLE.has_solution_bounded(3) is None
+    assert equivalent_words == []

@@ -1,0 +1,80 @@
+"""E14 — Section 8.1: semantic acyclicity for unions of conjunctive queries.
+
+Paper claim: the CQ results lift to UCQs — a UCQ is semantically acyclic iff
+every disjunct either has a bounded acyclic reformulation or is redundant in
+the union under Σ.  The benchmark exercises both cases and scales the number
+of disjuncts.
+"""
+
+import pytest
+
+from repro.core import decide_ucq_semantic_acyclicity
+from repro.parser import parse_query, parse_tgd
+from repro.queries import UnionOfConjunctiveQueries
+from repro.workloads.paper_examples import example1_tgd
+from conftest import print_series
+
+
+def test_ucq_semac_with_redundancy_and_witnesses(benchmark):
+    tgds = [example1_tgd()]
+    cyclic = parse_query("Interest(x, z), Class(y, z), Owns(x, y)")
+    acyclic = parse_query("Interest(x, z), Class(y, z)")
+    unrelated = parse_query("Interest(u, v)")
+    ucq = UnionOfConjunctiveQueries([cyclic, acyclic, unrelated], name="mixed")
+
+    decision = benchmark(lambda: decide_ucq_semantic_acyclicity(ucq, tgds))
+
+    print_series(
+        "E14: mixed UCQ under the Example 1 tgd",
+        [
+            ("semantically acyclic", decision.semantically_acyclic),
+            ("per-disjunct status", decision.disjunct_status),
+            ("witness disjuncts", len(decision.witness) if decision.witness else 0),
+        ],
+    )
+    assert decision.semantically_acyclic
+    assert decision.witness.is_acyclic()
+
+
+def test_ucq_semac_negative(benchmark):
+    triangle = parse_query("E(a, b), E(b, c), E(c, a)")
+    edgeless = parse_query("F(u, v)")
+    ucq = UnionOfConjunctiveQueries([triangle, edgeless], name="stuck")
+    symmetry = [parse_tgd("E(x, y) -> E(y, x)")]
+
+    decision = benchmark(lambda: decide_ucq_semantic_acyclicity(ucq, symmetry))
+
+    print_series(
+        "E14: UCQ with a stuck cyclic disjunct",
+        [
+            ("semantically acyclic", decision.semantically_acyclic),
+            ("per-disjunct status", decision.disjunct_status),
+        ],
+    )
+    assert not decision.semantically_acyclic
+
+
+@pytest.mark.parametrize("disjuncts", [2, 4, 8])
+def test_ucq_semac_scaling_in_disjunct_count(benchmark, disjuncts):
+    tgds = [example1_tgd()]
+    base = parse_query("Interest(x, z), Class(y, z), Owns(x, y)")
+    family = [base]
+    for index in range(disjuncts - 1):
+        family.append(
+            parse_query(
+                f"Interest(x, z), Class(y, z), Owns(x, y), Extra{index}(x)"
+            )
+        )
+    ucq = UnionOfConjunctiveQueries(family, name=f"family_{disjuncts}")
+
+    decision = benchmark(lambda: decide_ucq_semantic_acyclicity(ucq, tgds))
+
+    print_series(
+        f"E14: {disjuncts} disjuncts",
+        [
+            ("semantically acyclic", decision.semantically_acyclic),
+            ("redundant disjuncts",
+             sum(1 for status in decision.disjunct_status.values() if status == "redundant")),
+        ],
+    )
+    assert decision.semantically_acyclic

@@ -1,0 +1,53 @@
+"""E15 — Yannakakis [27] baseline: acyclic evaluation is linear-time.
+
+The paper's motivation rests on acyclic CQs being evaluable in ``O(|q|·|D|)``
+time while general CQ evaluation is NP-complete.  The benchmark compares
+Yannakakis' algorithm against the generic backtracking join on growing path
+databases, for an acyclic path query (where both succeed but Yannakakis stays
+linear) — the crossover that justifies looking for acyclic reformulations.
+"""
+
+import pytest
+
+from repro.evaluation import YannakakisEvaluator, evaluate_generic
+from repro.workloads.generators import path_database, path_query, grid_database
+from conftest import print_series
+
+
+PATH_QUERY = path_query(4, free_ends=True)
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+@pytest.mark.parametrize("engine", ["yannakakis", "generic"])
+def test_path_query_on_path_databases(benchmark, size, engine):
+    database = path_database(size)
+    if engine == "yannakakis":
+        evaluator = YannakakisEvaluator(PATH_QUERY)
+        run = lambda: evaluator.evaluate(database)
+    else:
+        run = lambda: evaluate_generic(PATH_QUERY, database)
+
+    answers = benchmark(run)
+    print_series(
+        f"E15: {engine}, |D| = {size}",
+        [("answers", len(answers))],
+    )
+    assert len(answers) == max(size - 4 + 1, 0)
+
+
+@pytest.mark.parametrize("engine", ["yannakakis", "generic"])
+def test_star_join_on_grid_database(benchmark, engine):
+    query = path_query(3, free_ends=True)
+    database = grid_database(12, 12)
+    if engine == "yannakakis":
+        evaluator = YannakakisEvaluator(query)
+        run = lambda: evaluator.evaluate(database)
+    else:
+        run = lambda: evaluate_generic(query, database)
+
+    answers = benchmark(run)
+    print_series(
+        f"E15: grid 12×12, {engine}",
+        [("answers", len(answers))],
+    )
+    assert answers == evaluate_generic(query, database)

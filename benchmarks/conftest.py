@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one artefact of the paper (see
+EXPERIMENTS.md).  Benchmarks both *measure* (via pytest-benchmark) and
+*print* the series the paper's artefact reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_series(title: str, rows, header=None) -> None:
+    """Print a small aligned table (one experiment series)."""
+    print()
+    print(f"=== {title} ===")
+    if header:
+        print("    " + " | ".join(str(h) for h in header))
+    for row in rows:
+        print("    " + " | ".join(str(cell) for cell in row))
+
+
+@pytest.fixture
+def series_printer():
+    return print_series

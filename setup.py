@@ -1,0 +1,15 @@
+"""Setuptools entry point (kept for environments without PEP 517 build isolation)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Semantic acyclicity of conjunctive queries under tgd/egd constraints "
+        "(reproduction of Barceló, Gottlob, Pieris, PODS 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,284 @@
+"""Command-line interface to the library.
+
+The CLI exposes the main workflows over files written in the surface syntax
+of :mod:`repro.parser`:
+
+* ``repro classify``    — classify a set of dependencies (guarded, sticky, …);
+* ``repro decide``      — decide semantic acyclicity of a CQ under constraints;
+* ``repro chase``       — chase a query or database and print the result;
+* ``repro rewrite``     — UCQ-rewrite a CQ under tgds;
+* ``repro approximate`` — compute acyclic approximations (Section 8.2);
+* ``repro evaluate``    — evaluate a CQ over a data file (via an acyclic
+  reformulation whenever one is available).
+
+Usage examples::
+
+    python -m repro decide --query "Interest(x,z), Class(y,z), Owns(x,y)" \
+        --dependency "Interest(x,z), Class(y,z) -> Owns(x,y)"
+
+    python -m repro classify --constraints ontology.rules
+
+Dependency files contain one dependency per line (``%`` comments allowed);
+data files contain one ground atom per line, e.g. ``Owns('alice', 'r1')``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, List, Optional, Sequence, Union
+
+from .chase import chase, chase_query, egd_chase, egd_chase_query
+from .core import (
+    SemAcConfig,
+    acyclic_approximations,
+    decide_semantic_acyclicity,
+)
+from .datamodel import Database
+from .dependencies import EGD, TGD, classify, describe
+from .parser import parse_atom, parse_dependency, parse_program, parse_query
+from .rewriting import rewrite
+from .evaluation import evaluate_acyclic, evaluate_generic
+
+
+Dependency = Union[TGD, EGD]
+
+
+# ----------------------------------------------------------------------
+# Input loading
+# ----------------------------------------------------------------------
+def load_dependencies(
+    constraints_path: Optional[str], inline: Sequence[str]
+) -> List[Dependency]:
+    """Load dependencies from a file and/or inline ``--dependency`` options."""
+    dependencies: List[Dependency] = []
+    if constraints_path:
+        text = Path(constraints_path).read_text(encoding="utf-8")
+        dependencies.extend(parse_program(text))
+    for line in inline:
+        dependencies.append(parse_dependency(line))
+    return dependencies
+
+
+def load_database(path: str) -> Database:
+    """Load a database from a file with one ground atom per line."""
+    database = Database()
+    text = Path(path).read_text(encoding="utf-8")
+    for raw_line in text.splitlines():
+        line = raw_line.split("%", 1)[0].strip().rstrip(".")
+        if not line:
+            continue
+        database.add(parse_atom(line))
+    return database
+
+
+def load_query(query_text: Optional[str], query_file: Optional[str]):
+    """Load the query from ``--query`` or ``--query-file`` (exactly one)."""
+    if (query_text is None) == (query_file is None):
+        raise SystemExit("provide exactly one of --query or --query-file")
+    if query_file is not None:
+        query_text = Path(query_file).read_text(encoding="utf-8").strip()
+    return parse_query(query_text)
+
+
+def _split_dependencies(dependencies: Sequence[Dependency]):
+    tgds = [d for d in dependencies if isinstance(d, TGD)]
+    egds = [d for d in dependencies if isinstance(d, EGD)]
+    return tgds, egds
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_classify(args: argparse.Namespace, out: IO[str]) -> int:
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    if not dependencies:
+        print("no dependencies given", file=out)
+        return 1
+    tgds, egds = _split_dependencies(dependencies)
+    if tgds:
+        classes = classify(tgds)
+        print(f"tgds: {len(tgds)}", file=out)
+        print(f"classes: {', '.join(sorted(c.value for c in classes)) or 'none'}", file=out)
+        print(describe(tgds), file=out)
+    if egds:
+        print(f"egds: {len(egds)}", file=out)
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace, out: IO[str]) -> int:
+    query = load_query(args.query, args.query_file)
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    tgds, egds = _split_dependencies(dependencies)
+    if tgds and egds:
+        raise SystemExit("mixing tgds and egds in one decision is not supported")
+    config = SemAcConfig(exhaustive=args.exhaustive)
+    decision = decide_semantic_acyclicity(query, tgds or egds, config)
+    print(f"query: {query}", file=out)
+    print(f"semantically acyclic: {decision.semantically_acyclic}", file=out)
+    print(f"method: {decision.method}", file=out)
+    if decision.witness is not None:
+        print(f"witness: {decision.witness}", file=out)
+    for note in decision.notes:
+        print(f"note: {note}", file=out)
+    return 0 if decision.semantically_acyclic else 2
+
+
+def _cmd_chase(args: argparse.Namespace, out: IO[str]) -> int:
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    tgds, egds = _split_dependencies(dependencies)
+    if args.data:
+        source: Union[Database, None] = load_database(args.data)
+        if tgds:
+            result = chase(source, tgds, variant=args.variant, max_steps=args.max_steps)
+            instance, terminated = result.instance, result.terminated
+        else:
+            result = egd_chase(source, egds, on_failure="return")
+            instance, terminated = result.instance, not result.failed
+    else:
+        query = load_query(args.query, args.query_file)
+        if tgds:
+            result, _ = chase_query(
+                query, tgds, variant=args.variant, max_steps=args.max_steps
+            )
+            instance, terminated = result.instance, result.terminated
+        else:
+            result, _ = egd_chase_query(query, egds, on_failure="return")
+            instance, terminated = result.instance, not result.failed
+    print(f"terminated: {terminated}", file=out)
+    print(f"atoms: {len(instance)}", file=out)
+    if args.print_atoms:
+        for atom in instance.sorted_atoms():
+            print(str(atom), file=out)
+    return 0 if terminated else 3
+
+
+def _cmd_rewrite(args: argparse.Namespace, out: IO[str]) -> int:
+    query = load_query(args.query, args.query_file)
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    tgds, egds = _split_dependencies(dependencies)
+    if egds:
+        raise SystemExit("rewriting is defined for tgds only")
+    rewriting = rewrite(query, tgds)
+    disjuncts = list(rewriting)
+    print(f"disjuncts: {len(disjuncts)}", file=out)
+    for disjunct in disjuncts:
+        print(str(disjunct), file=out)
+    return 0
+
+
+def _cmd_approximate(args: argparse.Namespace, out: IO[str]) -> int:
+    query = load_query(args.query, args.query_file)
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    tgds, _ = _split_dependencies(dependencies)
+    result = acyclic_approximations(query, tgds)
+    approximations = list(result.approximations)
+    print(f"approximations: {len(approximations)}", file=out)
+    for approximation in approximations:
+        print(str(approximation), file=out)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace, out: IO[str]) -> int:
+    query = load_query(args.query, args.query_file)
+    database = load_database(args.data)
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    tgds, egds = _split_dependencies(dependencies)
+
+    effective = query
+    how = "generic"
+    if query.is_acyclic():
+        how = "yannakakis"
+    elif dependencies:
+        decision = decide_semantic_acyclicity(query, tgds or egds)
+        if decision.semantically_acyclic and decision.witness is not None:
+            effective = decision.witness
+            how = "reformulated+yannakakis"
+
+    if how == "generic":
+        answers = evaluate_generic(effective, database)
+    else:
+        answers = evaluate_acyclic(effective, database)
+    print(f"evaluation: {how}", file=out)
+    print(f"answers: {len(answers)}", file=out)
+    for answer in sorted(answers, key=str):
+        rendered = ", ".join(str(term) for term in answer)
+        print(f"({rendered})", file=out)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def _add_common_inputs(parser: argparse.ArgumentParser, with_query: bool = True) -> None:
+    if with_query:
+        parser.add_argument("--query", help="the CQ, in the surface syntax")
+        parser.add_argument("--query-file", help="file containing the CQ")
+    parser.add_argument("--constraints", help="file with one dependency per line")
+    parser.add_argument(
+        "--dependency",
+        action="append",
+        default=[],
+        help="inline dependency (repeatable)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic acyclicity under constraints (Barceló, Gottlob, Pieris, PODS 2016)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    classify_parser = subparsers.add_parser("classify", help="classify a dependency set")
+    _add_common_inputs(classify_parser, with_query=False)
+    classify_parser.set_defaults(handler=_cmd_classify)
+
+    decide_parser = subparsers.add_parser("decide", help="decide semantic acyclicity")
+    _add_common_inputs(decide_parser)
+    decide_parser.add_argument(
+        "--exhaustive", action="store_true", help="run the exhaustive candidate search"
+    )
+    decide_parser.set_defaults(handler=_cmd_decide)
+
+    chase_parser = subparsers.add_parser("chase", help="chase a query or a data file")
+    _add_common_inputs(chase_parser)
+    chase_parser.add_argument("--data", help="data file to chase instead of a query")
+    chase_parser.add_argument(
+        "--variant", choices=("restricted", "oblivious"), default="restricted"
+    )
+    chase_parser.add_argument("--max-steps", type=int, default=10_000)
+    chase_parser.add_argument(
+        "--print-atoms", action="store_true", help="print every atom of the result"
+    )
+    chase_parser.set_defaults(handler=_cmd_chase)
+
+    rewrite_parser = subparsers.add_parser("rewrite", help="UCQ-rewrite a CQ under tgds")
+    _add_common_inputs(rewrite_parser)
+    rewrite_parser.set_defaults(handler=_cmd_rewrite)
+
+    approximate_parser = subparsers.add_parser(
+        "approximate", help="compute acyclic approximations"
+    )
+    _add_common_inputs(approximate_parser)
+    approximate_parser.set_defaults(handler=_cmd_approximate)
+
+    evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a CQ over a data file")
+    _add_common_inputs(evaluate_parser)
+    evaluate_parser.add_argument("--data", required=True, help="data file (one atom per line)")
+    evaluate_parser.set_defaults(handler=_cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[IO[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    stream = out if out is not None else sys.stdout
+    return args.handler(args, stream)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""Instances and databases: sets of ground atoms over constants and nulls.
+
+An *instance* is a (here: finite, since we materialise it) set of atoms whose
+terms are constants or labelled nulls; a *database* is a finite instance
+containing constants only (the paper allows nulls in databases obtained from
+queries — so we do not forbid them, we only track them).  Instances are the
+inputs/outputs of the chase and the structures over which queries are
+evaluated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .atoms import Atom, Predicate
+from .terms import Constant, GroundTerm, Null, Term, Variable
+from .schema import Schema
+
+
+#: Shared empty result for index lookups that find nothing (never mutated).
+_EMPTY_ATOM_SET: FrozenSet[Atom] = frozenset()
+
+
+class Instance:
+    """A finite instance: a set of ground atoms with per-predicate indexes.
+
+    The class behaves like a set of :class:`Atom` (iteration, ``in``,
+    ``len``) but also maintains an index from predicates to atoms and from
+    terms to atoms, which the homomorphism search and the chase rely on.
+    """
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self._atoms: Set[Atom] = set()
+        self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
+        self._by_term: Dict[GroundTerm, Set[Atom]] = defaultdict(set)
+        for atom in atoms:
+            self.add(atom)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, atom: Atom) -> bool:
+        """Add ``atom``; return ``True`` iff it was not already present.
+
+        Raises:
+            ValueError: if the atom contains variables (instances are ground).
+        """
+        if not atom.is_ground():
+            raise ValueError(f"instances contain ground atoms only, got {atom}")
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._by_predicate[atom.predicate].add(atom)
+        for term in atom.terms:
+            self._by_term[term].add(atom)
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        """Add every atom in ``atoms``; return how many were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove ``atom`` if present; return ``True`` iff it was present."""
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        self._by_predicate[atom.predicate].discard(atom)
+        for term in set(atom.terms):
+            self._by_term[term].discard(atom)
+            if not self._by_term[term]:
+                del self._by_term[term]
+        if not self._by_predicate[atom.predicate]:
+            del self._by_predicate[atom.predicate]
+        return True
+
+    # ------------------------------------------------------------------
+    # Set-like behaviour
+    # ------------------------------------------------------------------
+    def __contains__(self, atom: object) -> bool:
+        return atom in self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return self._atoms == other._atoms
+        if isinstance(other, (set, frozenset)):
+            return self._atoms == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely hashed
+        return hash(frozenset(self._atoms))
+
+    def atoms(self) -> FrozenSet[Atom]:
+        """Return the atoms of the instance as a frozen set."""
+        return frozenset(self._atoms)
+
+    def sorted_atoms(self) -> List[Atom]:
+        """Return the atoms sorted by string representation (deterministic)."""
+        return sorted(self._atoms, key=str)
+
+    def copy(self) -> "Instance":
+        """Return a shallow copy of the instance."""
+        return Instance(self._atoms)
+
+    # ------------------------------------------------------------------
+    # Indexed access
+    # ------------------------------------------------------------------
+    def atoms_with_predicate(self, predicate: Predicate) -> Set[Atom]:
+        """Return the atoms over ``predicate``.
+
+        The returned set is the live index of the instance — callers must not
+        mutate it.  (Returning it directly, rather than a defensive copy,
+        keeps the homomorphism search and the chase linear in the number of
+        matching atoms rather than in the size of the whole relation.)
+        """
+        return self._by_predicate.get(predicate, _EMPTY_ATOM_SET)
+
+    def atoms_with_predicate_name(self, name: str) -> FrozenSet[Atom]:
+        """Return the atoms whose predicate is called ``name``."""
+        result: Set[Atom] = set()
+        for predicate, atoms in self._by_predicate.items():
+            if predicate.name == name:
+                result.update(atoms)
+        return frozenset(result)
+
+    def atoms_with_term(self, term: GroundTerm) -> Set[Atom]:
+        """Return the atoms in which ``term`` occurs.
+
+        As with :meth:`atoms_with_predicate`, the live index is returned and
+        must not be mutated by callers.
+        """
+        return self._by_term.get(term, _EMPTY_ATOM_SET)
+
+    def predicates(self) -> Set[Predicate]:
+        """Return the predicates that occur in the instance."""
+        return set(self._by_predicate)
+
+    def schema(self) -> Schema:
+        """Return the schema induced by the instance."""
+        return Schema(self._by_predicate.keys())
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+    def active_domain(self) -> Set[GroundTerm]:
+        """Return the set of terms (constants and nulls) occurring in the instance."""
+        return set(self._by_term)
+
+    def constants(self) -> Set[Constant]:
+        """Return the constants occurring in the instance."""
+        return {t for t in self._by_term if isinstance(t, Constant)}
+
+    def nulls(self) -> Set[Null]:
+        """Return the labelled nulls occurring in the instance."""
+        return {t for t in self._by_term if isinstance(t, Null)}
+
+    def is_database(self) -> bool:
+        """Return ``True`` iff the instance is null-free (a plain database)."""
+        return not self.nulls()
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def apply(self, mapping: Mapping[Term, Term]) -> "Instance":
+        """Return the instance obtained by substituting terms via ``mapping``."""
+        return Instance(atom.apply(mapping) for atom in self._atoms)
+
+    def union(self, other: "Instance") -> "Instance":
+        """Return the union of two instances."""
+        result = self.copy()
+        result.add_all(other)
+        return result
+
+    def restrict_to_terms(self, terms: Iterable[GroundTerm]) -> "Instance":
+        """Return the restriction of the instance to atoms over ``terms`` only.
+
+        This is the ``I(a1, ..., al)`` notation used in the existential
+        1-cover game (Section 7): keep exactly the atoms all of whose terms
+        belong to the given set.
+        """
+        allowed = set(terms)
+        return Instance(
+            atom for atom in self._atoms if all(t in allowed for t in atom.terms)
+        )
+
+    def restrict_to_predicates(self, predicates: Iterable[Predicate]) -> "Instance":
+        """Return the sub-instance over the given predicates."""
+        wanted = set(predicates)
+        return Instance(
+            atom for atom in self._atoms if atom.predicate in wanted
+        )
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(a) for a in self.sorted_atoms()) + "}"
+
+    def __repr__(self) -> str:
+        return f"Instance({len(self._atoms)} atoms)"
+
+
+class Database(Instance):
+    """A finite instance intended to be null-free.
+
+    The distinction is purely documentary (the paper's databases may be
+    treated as instances everywhere); we keep a subclass so that signatures
+    such as ``SemAcEval(D, q, Σ)`` read like the paper.
+    """
+
+    def __repr__(self) -> str:
+        return f"Database({len(self)} atoms)"
+
+
+def instance_from_tuples(
+    schema: Schema,
+    tuples: Mapping[str, Iterable[Tuple[object, ...]]],
+) -> Database:
+    """Build a database from plain Python tuples of constant *values*.
+
+    Example:
+        >>> schema = Schema([Predicate("R", 2)])
+        >>> db = instance_from_tuples(schema, {"R": [(1, 2), (2, 3)]})
+        >>> len(db)
+        2
+    """
+    database = Database()
+    for name, rows in tuples.items():
+        predicate = schema.predicate(name)
+        for row in rows:
+            if len(row) != predicate.arity:
+                raise ValueError(
+                    f"tuple {row!r} has {len(row)} fields, predicate "
+                    f"{predicate} expects {predicate.arity}"
+                )
+            database.add(Atom(predicate, tuple(Constant(value) for value in row)))
+    return database

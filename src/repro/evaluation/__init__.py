@@ -1,0 +1,67 @@
+"""Evaluation engines: Yannakakis, generic join, cover game, SemAcEval."""
+
+from .yannakakis import (
+    AcyclicityRequired,
+    YannakakisEvaluator,
+    boolean_acyclic,
+    evaluate_acyclic,
+)
+from .generic import boolean_generic, evaluate_generic, membership_generic
+from .join_plans import (
+    JoinPlan,
+    PlanExecution,
+    PlanStep,
+    boolean_with_plan,
+    estimate_cardinality,
+    evaluate_with_plan,
+    execute_plan,
+    plan_by_cardinality,
+    plan_greedy,
+    plan_in_query_order,
+)
+from .cover_game import (
+    CoverGameResult,
+    existential_one_cover,
+    instance_covers_database,
+    query_covers_database,
+)
+from .semacyclic_eval import (
+    NotSemanticallyAcyclic,
+    SemAcEvaluation,
+    evaluate_via_reformulation,
+    membership_baseline,
+    membership_via_chase_and_cover_game_tgds,
+    membership_via_cover_game_egds,
+    membership_via_cover_game_guarded,
+)
+
+__all__ = [
+    "AcyclicityRequired",
+    "CoverGameResult",
+    "JoinPlan",
+    "NotSemanticallyAcyclic",
+    "PlanExecution",
+    "PlanStep",
+    "SemAcEvaluation",
+    "YannakakisEvaluator",
+    "boolean_acyclic",
+    "boolean_generic",
+    "boolean_with_plan",
+    "estimate_cardinality",
+    "evaluate_acyclic",
+    "evaluate_generic",
+    "evaluate_via_reformulation",
+    "evaluate_with_plan",
+    "execute_plan",
+    "existential_one_cover",
+    "instance_covers_database",
+    "membership_baseline",
+    "membership_generic",
+    "membership_via_chase_and_cover_game_tgds",
+    "membership_via_cover_game_egds",
+    "membership_via_cover_game_guarded",
+    "plan_by_cardinality",
+    "plan_greedy",
+    "plan_in_query_order",
+    "query_covers_database",
+]

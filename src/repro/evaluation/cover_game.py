@@ -1,0 +1,196 @@
+"""The existential 1-cover game (Section 7, after Chen & Dalmau [13]).
+
+``(I, t̄) ≡∃1c (I', t̄')`` holds when the duplicator wins the existential
+1-cover game on the two structures.  Lemma 28 characterises the relation
+through the existence of a mapping ``H`` that assigns to every atom ``T(ā)``
+of ``I`` a non-empty set of atoms ``T(f(ā))`` of ``I'`` such that
+
+1. pebbles on answer positions are forced: if a component of ``ā`` is the
+   ``j``-th component of ``t̄``, its image must be the ``j``-th component of
+   ``t̄'``; and
+2. the choices are *forward consistent*: for every chosen image of ``T(ā)``
+   and every atom ``S(b̄)`` of ``I`` there is a chosen image of ``S(b̄)``
+   agreeing on all shared elements.
+
+The greatest such ``H`` is computed by the classical arc-consistency style
+fixpoint below, which runs in polynomial time (Proposition 29).  The key
+consequences used by the paper are Proposition 30 (winning the game transfers
+acyclic-CQ answers) and Proposition 31 / Lemma 32 (for semantically acyclic
+queries, and under guarded tgds, the game decides evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..datamodel import Atom, Constant, GroundTerm, Instance, Term, Variable
+from ..queries.cq import ConjunctiveQuery
+
+
+@dataclass
+class CoverGameResult:
+    """Outcome of the existential 1-cover fixpoint computation."""
+
+    duplicator_wins: bool
+    #: The greatest consistent strategy: for each left atom, its surviving images.
+    strategy: Dict[Atom, Set[Atom]]
+
+
+def _position_constraints(
+    atom_terms: Sequence[Term],
+    left_tuple: Sequence[Term],
+    right_tuple: Sequence[Term],
+) -> Optional[List[Optional[Term]]]:
+    """For each position of ``atom_terms``: the forced image, if any.
+
+    A position is forced when its term equals some component of ``left_tuple``
+    (then the image must be the corresponding component of ``right_tuple``).
+    If a term matches two components with different images, the atom has no
+    valid image at all and ``None`` is returned by the caller's filter.
+    """
+    forced: List[Optional[Term]] = []
+    for term in atom_terms:
+        images = {
+            right_tuple[index]
+            for index, left_term in enumerate(left_tuple)
+            if left_term == term
+        }
+        if len(images) > 1:
+            return None
+        forced.append(next(iter(images)) if images else None)
+    return forced
+
+
+def _candidate_images(
+    atom: Atom,
+    right: Instance,
+    left_tuple: Sequence[Term],
+    right_tuple: Sequence[Term],
+) -> Set[Atom]:
+    """Initial candidate images of ``atom``: same predicate, respecting pebbles
+    and the functional reading of the atom (equal terms map to equal terms)."""
+    forced = _position_constraints(atom.terms, left_tuple, right_tuple)
+    if forced is None:
+        return set()
+    candidates: Set[Atom] = set()
+    for fact in right.atoms_with_predicate(atom.predicate):
+        mapping: Dict[Term, Term] = {}
+        ok = True
+        for index, (source, target) in enumerate(zip(atom.terms, fact.terms)):
+            if forced[index] is not None and target != forced[index]:
+                ok = False
+                break
+            bound = mapping.get(source)
+            if bound is None:
+                mapping[source] = target
+            elif bound != target:
+                ok = False
+                break
+        if ok:
+            candidates.add(fact)
+    return candidates
+
+
+def _agree_on_shared(
+    left_a: Atom, image_a: Atom, left_b: Atom, image_b: Atom
+) -> bool:
+    """Do the two images agree on every term shared by the two left atoms?"""
+    assignment: Dict[Term, Term] = {}
+    for source, target in zip(left_a.terms, image_a.terms):
+        existing = assignment.get(source)
+        if existing is not None and existing != target:
+            return False
+        assignment[source] = target
+    for source, target in zip(left_b.terms, image_b.terms):
+        existing = assignment.get(source)
+        if existing is not None and existing != target:
+            return False
+        assignment[source] = target
+    return True
+
+
+def existential_one_cover(
+    left: Instance,
+    left_tuple: Sequence[Term],
+    right: Instance,
+    right_tuple: Sequence[Term],
+) -> CoverGameResult:
+    """Decide ``(left, left_tuple) ≡∃1c (right, right_tuple)`` (Lemma 28)."""
+    if len(left_tuple) != len(right_tuple):
+        raise ValueError("the two distinguished tuples must have the same length")
+
+    left_atoms = left.sorted_atoms()
+    strategy: Dict[Atom, Set[Atom]] = {
+        atom: _candidate_images(atom, right, left_tuple, right_tuple)
+        for atom in left_atoms
+    }
+    if any(not images for images in strategy.values()):
+        return CoverGameResult(False, strategy)
+
+    # Only atom pairs that share a term constrain each other.
+    def shares_terms(a: Atom, b: Atom) -> bool:
+        return bool(set(a.terms) & set(b.terms))
+
+    neighbours: Dict[Atom, List[Atom]] = {
+        atom: [other for other in left_atoms if other is not atom and shares_terms(atom, other)]
+        for atom in left_atoms
+    }
+
+    changed = True
+    while changed:
+        changed = False
+        for atom in left_atoms:
+            surviving: Set[Atom] = set()
+            for image in strategy[atom]:
+                supported = True
+                for other in neighbours[atom]:
+                    if not any(
+                        _agree_on_shared(atom, image, other, other_image)
+                        for other_image in strategy[other]
+                    ):
+                        supported = False
+                        break
+                if supported:
+                    surviving.add(image)
+            if surviving != strategy[atom]:
+                strategy[atom] = surviving
+                changed = True
+                if not surviving:
+                    return CoverGameResult(False, strategy)
+    return CoverGameResult(True, strategy)
+
+
+def query_covers_database(
+    query: ConjunctiveQuery,
+    database: Instance,
+    answer: Sequence[GroundTerm] = (),
+) -> bool:
+    """Decide ``(q, x̄) ≡∃1c (D, t̄)``.
+
+    The query is read as an instance whose elements are its own variables and
+    constants (the paper's slight abuse of notation in Proposition 31); the
+    distinguished tuple on the left is the tuple of free variables.
+    """
+    left = Instance(atom.map_terms(_variable_as_element) for atom in query.body)
+    left_tuple = [_variable_as_element(v) for v in query.head]
+    return existential_one_cover(left, left_tuple, database, list(answer)).duplicator_wins
+
+
+def _variable_as_element(term: Term) -> Term:
+    """Turn query variables into frozen constants so they can live in an instance."""
+    from ..datamodel import freeze_variable
+
+    if isinstance(term, Variable):
+        return freeze_variable(term)
+    return term
+
+
+def instance_covers_database(
+    left: Instance,
+    left_tuple: Sequence[GroundTerm],
+    database: Instance,
+    answer: Sequence[GroundTerm] = (),
+) -> bool:
+    """Decide ``(I, t̄) ≡∃1c (D, t̄')`` for arbitrary instances (e.g. chases)."""
+    return existential_one_cover(left, list(left_tuple), database, list(answer)).duplicator_wins

@@ -1,0 +1,259 @@
+"""Join-order planning for conjunctive query evaluation.
+
+The generic evaluator of :mod:`repro.evaluation.generic` explores the query
+atoms in the order they were written, which is the textbook worst case for
+backtracking joins.  This module adds the standard database-systems remedy —
+a cost-based join order — so that the benchmarks can compare three points of
+the design space on the same workloads:
+
+1. naive backtracking in query order (``evaluate_generic``);
+2. backtracking over a greedily chosen join order (this module);
+3. Yannakakis' semi-join algorithm for acyclic queries
+   (:mod:`repro.evaluation.yannakakis`) — the method semantic acyclicity is
+   trying to unlock.
+
+The planner is deliberately simple (selectivity = relation cardinality,
+connected orders preferred); its point is to make the "acyclic evaluation is
+the real win" story honest by comparing against a non-strawman baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datamodel import Atom, Constant, Instance, Term, Variable
+from ..queries.cq import ConjunctiveQuery
+
+
+Assignment = Dict[Variable, Term]
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a join plan: the atom to join next plus its cost estimate."""
+
+    atom: Atom
+    estimated_cardinality: int
+    shares_variables_with_prefix: bool
+
+
+@dataclass
+class JoinPlan:
+    """An ordered sequence of atoms to join, with per-step estimates."""
+
+    query: ConjunctiveQuery
+    steps: List[PlanStep] = field(default_factory=list)
+
+    def atoms(self) -> List[Atom]:
+        """The atoms in join order."""
+        return [step.atom for step in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{index}: {step.atom} (≈{step.estimated_cardinality} facts"
+            + ("" if step.shares_variables_with_prefix or index == 0 else ", cross product")
+            + ")"
+            for index, step in enumerate(self.steps)
+        ]
+        return "\n".join(parts)
+
+
+@dataclass
+class PlanExecution:
+    """Answers of a plan plus the intermediate-result sizes per step."""
+
+    answers: Set[Tuple[Term, ...]]
+    intermediate_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def max_intermediate_size(self) -> int:
+        return max(self.intermediate_sizes, default=0)
+
+    @property
+    def total_intermediate_tuples(self) -> int:
+        return sum(self.intermediate_sizes)
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def estimate_cardinality(atom: Atom, database: Instance) -> int:
+    """Estimated number of database facts matching ``atom``.
+
+    The estimate is the size of the atom's relation, discounted when the atom
+    constrains positions with constants or repeated variables (each such
+    constraint is assumed to keep roughly one tenth of the facts — a crude
+    but monotone selectivity model).
+    """
+    base = len(database.atoms_with_predicate(atom.predicate))
+    constraints = sum(1 for term in atom.terms if isinstance(term, Constant))
+    seen: Set[Term] = set()
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            if term in seen:
+                constraints += 1
+            seen.add(term)
+    for _ in range(constraints):
+        base = max(1, base // 10) if base else 0
+    return base
+
+
+def plan_in_query_order(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
+    """The "no planning" plan: atoms in the order they appear in the query."""
+    return _plan_from_order(query, database, list(query.body))
+
+
+def plan_by_cardinality(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
+    """Left-deep plan ordering atoms by estimated cardinality only."""
+    ordered = sorted(
+        query.body, key=lambda atom: (estimate_cardinality(atom, database), str(atom))
+    )
+    return _plan_from_order(query, database, ordered)
+
+
+def plan_greedy(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
+    """Greedy connected plan: cheapest atom first, then cheapest *connected* atom.
+
+    At every step the planner prefers atoms sharing a variable with the atoms
+    already joined (avoiding cross products); ties are broken by the
+    cardinality estimate and then by the textual form of the atom so that the
+    plan is deterministic.
+    """
+    remaining = list(query.body)
+    if not remaining:
+        return JoinPlan(query)
+
+    ordered: List[Atom] = []
+    bound_variables: Set[Variable] = set()
+    first = min(
+        remaining, key=lambda atom: (estimate_cardinality(atom, database), str(atom))
+    )
+    ordered.append(first)
+    bound_variables.update(first.variables())
+    remaining.remove(first)
+
+    while remaining:
+        connected = [atom for atom in remaining if atom.variables() & bound_variables]
+        pool = connected or remaining
+        chosen = min(
+            pool, key=lambda atom: (estimate_cardinality(atom, database), str(atom))
+        )
+        ordered.append(chosen)
+        bound_variables.update(chosen.variables())
+        remaining.remove(chosen)
+
+    return _plan_from_order(query, database, ordered)
+
+
+def _plan_from_order(
+    query: ConjunctiveQuery, database: Instance, ordered: Sequence[Atom]
+) -> JoinPlan:
+    steps: List[PlanStep] = []
+    seen_variables: Set[Variable] = set()
+    for atom in ordered:
+        steps.append(
+            PlanStep(
+                atom=atom,
+                estimated_cardinality=estimate_cardinality(atom, database),
+                shares_variables_with_prefix=bool(atom.variables() & seen_variables),
+            )
+        )
+        seen_variables.update(atom.variables())
+    return JoinPlan(query=query, steps=steps)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _candidate_facts(atom: Atom, database: Instance, binding: Assignment):
+    """Facts that could match ``atom`` given the current binding.
+
+    When some atom variable is already bound (or the atom has a constant),
+    the per-term index of the instance narrows the scan; otherwise the whole
+    relation is scanned.
+    """
+    candidates = None
+    for term in atom.terms:
+        value: Optional[Term] = None
+        if isinstance(term, Constant):
+            value = term
+        elif isinstance(term, Variable) and term in binding:
+            value = binding[term]
+        if value is None:
+            continue
+        with_term = database.atoms_with_term(value)
+        candidates = with_term if candidates is None else (candidates & with_term)
+        if not candidates:
+            return frozenset()
+    relation = database.atoms_with_predicate(atom.predicate)
+    return relation if candidates is None else (candidates & relation)
+
+
+def _extend(atom: Atom, fact: Atom, binding: Assignment) -> Optional[Assignment]:
+    """Extend ``binding`` so that ``atom`` maps onto ``fact``, or return ``None``."""
+    extended = dict(binding)
+    for query_term, data_term in zip(atom.terms, fact.terms):
+        if isinstance(query_term, Constant):
+            if query_term != data_term:
+                return None
+        else:
+            bound = extended.get(query_term)
+            if bound is None:
+                extended[query_term] = data_term
+            elif bound != data_term:
+                return None
+    return extended
+
+
+def execute_plan(plan: JoinPlan, database: Instance) -> PlanExecution:
+    """Execute a join plan with index-assisted nested loops.
+
+    The execution materialises the intermediate binding sets step by step
+    (pipelining would hide the intermediate sizes the ablation benchmark
+    wants to report).
+    """
+    bindings: List[Assignment] = [{}]
+    intermediate_sizes: List[int] = []
+    for step in plan.steps:
+        next_bindings: List[Assignment] = []
+        for binding in bindings:
+            for fact in _candidate_facts(step.atom, database, binding):
+                extended = _extend(step.atom, fact, binding)
+                if extended is not None:
+                    next_bindings.append(extended)
+        bindings = next_bindings
+        intermediate_sizes.append(len(bindings))
+        if not bindings:
+            break
+
+    answers: Set[Tuple[Term, ...]] = set()
+    if bindings and (plan.steps or not plan.query.body):
+        for binding in bindings:
+            answers.add(tuple(binding[variable] for variable in plan.query.head))
+    return PlanExecution(answers=answers, intermediate_sizes=intermediate_sizes)
+
+
+def evaluate_with_plan(
+    query: ConjunctiveQuery,
+    database: Instance,
+    planner=plan_greedy,
+) -> Set[Tuple[Term, ...]]:
+    """Plan and execute ``query`` over ``database``; return the answer set."""
+    plan = planner(query, database)
+    return execute_plan(plan, database).answers
+
+
+def boolean_with_plan(
+    query: ConjunctiveQuery,
+    database: Instance,
+    planner=plan_greedy,
+) -> bool:
+    """Boolean evaluation through a join plan."""
+    return bool(evaluate_with_plan(query, database, planner=planner))

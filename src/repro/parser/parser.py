@@ -1,0 +1,179 @@
+"""A small Datalog-like surface syntax for queries and dependencies.
+
+The syntax is deliberately minimal but convenient for examples and tests:
+
+* atoms: ``R(x, y)`` — bare identifiers are variables, numbers and quoted
+  strings are constants;
+* conjunctive queries: ``q(x, y) :- R(x, z), S(z, y)`` (Boolean queries can
+  omit the head entirely: ``R(x, z), S(z, y)``);
+* unions of CQs: disjuncts separated by ``;``;
+* tgds: ``R(x, y), S(y, z) -> T(x, z), U(z, w)`` (variables appearing only in
+  the head are read as existentially quantified);
+* egds: ``R(x, y), R(x, z) -> y = z``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..datamodel import Atom, Constant, Predicate, Schema, Term, Variable
+from ..dependencies.egd import EGD
+from ..dependencies.tgd import TGD
+from ..queries.cq import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+
+
+class ParseError(ValueError):
+    """Raised on malformed input."""
+
+
+_ATOM_PATTERN = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)\s*")
+_NUMBER_PATTERN = re.compile(r"^-?\d+$")
+
+
+def _parse_term(token: str) -> Term:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if _NUMBER_PATTERN.match(token):
+        return Constant(int(token))
+    if (token.startswith("'") and token.endswith("'")) or (
+        token.startswith('"') and token.endswith('"')
+    ):
+        return Constant(token[1:-1])
+    if not re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", token):
+        raise ParseError(f"invalid term {token!r}")
+    return Variable(token)
+
+
+def parse_atom(text: str, schema: Optional[Schema] = None) -> Atom:
+    """Parse a single atom such as ``R(x, 'a', 3)``."""
+    match = _ATOM_PATTERN.fullmatch(text)
+    if match is None:
+        raise ParseError(f"malformed atom {text!r}")
+    name, arguments = match.group(1), match.group(2)
+    terms = (
+        tuple(_parse_term(part) for part in arguments.split(",")) if arguments.strip() else ()
+    )
+    predicate = Predicate(name, len(terms))
+    if schema is not None:
+        predicate = schema.predicate(name, len(terms))
+    return Atom(predicate, terms)
+
+
+def _split_atoms(text: str) -> List[str]:
+    """Split a comma-separated conjunction of atoms, respecting parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for character in text:
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced parentheses in {text!r}")
+        if character == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(character)
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in {text!r}")
+    if "".join(current).strip():
+        parts.append("".join(current))
+    return parts
+
+
+def parse_conjunction(text: str, schema: Optional[Schema] = None) -> List[Atom]:
+    """Parse a comma-separated conjunction of atoms."""
+    return [parse_atom(part, schema) for part in _split_atoms(text)]
+
+
+def parse_query(text: str, schema: Optional[Schema] = None, name: str = "q") -> ConjunctiveQuery:
+    """Parse a CQ.
+
+    Accepted forms: ``q(x, y) :- body`` / ``() :- body`` / just ``body``
+    (Boolean query).
+    """
+    text = text.strip()
+    head_variables: Tuple[Variable, ...] = ()
+    query_name = name
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        head_text = head_text.strip()
+        if head_text and head_text != "()":
+            match = _ATOM_PATTERN.fullmatch(head_text)
+            if match is None:
+                raise ParseError(f"malformed query head {head_text!r}")
+            query_name = match.group(1)
+            arguments = match.group(2)
+            if arguments.strip():
+                head_terms = [_parse_term(part) for part in arguments.split(",")]
+                for term in head_terms:
+                    if not isinstance(term, Variable):
+                        raise ParseError("query heads may only contain variables")
+                head_variables = tuple(head_terms)  # type: ignore[arg-type]
+    else:
+        body_text = text
+    body = parse_conjunction(body_text, schema)
+    return ConjunctiveQuery(head_variables, body, name=query_name)
+
+
+def parse_ucq(text: str, schema: Optional[Schema] = None, name: str = "Q") -> UnionOfConjunctiveQueries:
+    """Parse a UCQ whose disjuncts are separated by ``;``."""
+    disjunct_texts = [part for part in text.split(";") if part.strip()]
+    disjuncts = [
+        parse_query(part, schema, name=f"{name}_{index}")
+        for index, part in enumerate(disjunct_texts)
+    ]
+    return UnionOfConjunctiveQueries(disjuncts, name=name)
+
+
+def parse_tgd(text: str, schema: Optional[Schema] = None, label: Optional[str] = None) -> TGD:
+    """Parse a tgd ``body -> head`` (head variables not in the body are existential)."""
+    if "->" not in text:
+        raise ParseError(f"a tgd needs a '->': {text!r}")
+    body_text, head_text = text.split("->", 1)
+    body = parse_conjunction(body_text, schema)
+    head = parse_conjunction(head_text, schema)
+    return TGD(body, head, label=label)
+
+
+def parse_egd(text: str, schema: Optional[Schema] = None, label: Optional[str] = None) -> EGD:
+    """Parse an egd ``body -> x = y``."""
+    if "->" not in text:
+        raise ParseError(f"an egd needs a '->': {text!r}")
+    body_text, equality_text = text.split("->", 1)
+    if "=" not in equality_text:
+        raise ParseError(f"an egd needs an equality in its head: {text!r}")
+    left_text, right_text = equality_text.split("=", 1)
+    left = _parse_term(left_text)
+    right = _parse_term(right_text)
+    if not isinstance(left, Variable) or not isinstance(right, Variable):
+        raise ParseError("egds equate two variables")
+    return EGD(parse_conjunction(body_text, schema), left, right, label=label)
+
+
+def parse_dependency(text: str, schema: Optional[Schema] = None) -> Union[TGD, EGD]:
+    """Parse either a tgd or an egd, deciding by the shape of the head."""
+    if "->" not in text:
+        raise ParseError(f"a dependency needs a '->': {text!r}")
+    _, head_text = text.split("->", 1)
+    if "=" in head_text and "(" not in head_text:
+        return parse_egd(text, schema)
+    return parse_tgd(text, schema)
+
+
+def parse_program(
+    text: str, schema: Optional[Schema] = None
+) -> List[Union[TGD, EGD]]:
+    """Parse a newline/period-separated list of dependencies (``%`` comments allowed)."""
+    dependencies: List[Union[TGD, EGD]] = []
+    for raw_line in re.split(r"[\n.]+", text):
+        line = raw_line.split("%", 1)[0].strip()
+        if not line:
+            continue
+        dependencies.append(parse_dependency(line, schema))
+    return dependencies

@@ -1,0 +1,61 @@
+"""Conjunctive queries, unions thereof, homomorphisms and minimisation."""
+
+from .homomorphism import (
+    Homomorphism,
+    apply_homomorphism,
+    compose,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    homomorphisms,
+    is_homomorphism,
+)
+from .cq import ConjunctiveQuery, boolean_query, query_from_instance
+from .ucq import UCQ, UnionOfConjunctiveQueries
+from .core_minimization import (
+    contained_in,
+    core,
+    equivalent_queries,
+    fold_once,
+    is_core,
+    is_semantically_acyclic_unconstrained,
+)
+from .gaifman import (
+    connected_components,
+    edge_count,
+    gaifman_graph_of_atoms,
+    gaifman_graph_of_instance,
+    is_connected_graph,
+    max_clique_lower_bound,
+    treewidth_upper_bound,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "Homomorphism",
+    "UCQ",
+    "UnionOfConjunctiveQueries",
+    "apply_homomorphism",
+    "boolean_query",
+    "compose",
+    "connected_components",
+    "contained_in",
+    "core",
+    "edge_count",
+    "equivalent_queries",
+    "find_homomorphism",
+    "fold_once",
+    "gaifman_graph_of_atoms",
+    "gaifman_graph_of_instance",
+    "has_homomorphism",
+    "homomorphically_equivalent",
+    "homomorphisms",
+    "is_connected_graph",
+    "is_core",
+    "is_homomorphism",
+    "is_semantically_acyclic_unconstrained",
+    "max_clique_lower_bound",
+    "query_from_instance",
+    "treewidth_upper_bound",
+    "equivalent_queries",
+]

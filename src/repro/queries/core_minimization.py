@@ -1,0 +1,121 @@
+"""Core computation (CQ minimisation).
+
+The *core* of a CQ ``q`` is the minimal equivalent CQ ``q'`` [21]; in the
+absence of constraints, ``q`` is semantically acyclic iff its core is acyclic
+(Section 1).  The implementation below is the classical fold-based algorithm:
+repeatedly look for a retraction of the query body onto a proper subset of
+its atoms that fixes the free variables, until no such retraction exists.
+
+The search is exponential in the worst case (core computation is NP-hard),
+which is acceptable: queries are small, and the paper itself relies on the
+same observation ("this is not a major problem for real-life applications,
+as the input (the CQ) is small").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..datamodel import Atom, Constant, Term, Variable, freeze_variable, is_frozen_constant, unfreeze_constant
+from .cq import ConjunctiveQuery
+from .homomorphism import Homomorphism, homomorphisms
+
+
+def _retraction_onto(
+    query: ConjunctiveQuery,
+    kept_atoms: Set[Atom],
+) -> Optional[Homomorphism]:
+    """Find an endomorphism of ``query`` whose image lies within ``kept_atoms``.
+
+    The endomorphism must be the identity on the free variables (otherwise
+    the folded query would not be equivalent).  Returns the mapping, or
+    ``None`` if no such fold exists.
+    """
+    # The homomorphism search works over ground targets, so the kept atoms
+    # are frozen first and the found mapping is thawed back to variables.
+    freezing: Dict[Term, Term] = {
+        variable: freeze_variable(variable) for variable in query.variables()
+    }
+    target = [atom.apply(freezing) for atom in kept_atoms]
+    seed: Dict[Term, Term] = {
+        variable: freeze_variable(variable) for variable in query.head
+    }
+    for mapping in homomorphisms(query.body, target, seed=seed):
+        thawed: Homomorphism = {}
+        for source, image in mapping.items():
+            if is_frozen_constant(image):
+                thawed[source] = unfreeze_constant(image)
+            else:
+                thawed[source] = image
+        return thawed
+    return None
+
+
+def fold_once(query: ConjunctiveQuery) -> Optional[ConjunctiveQuery]:
+    """Try to fold the query onto a proper subset of its atoms.
+
+    Returns the folded (strictly smaller) query, or ``None`` if the query is
+    already a core.  The fold removes one atom at a time, which is sufficient:
+    if the query retracts onto any proper subset it also retracts onto a
+    subset missing a single atom.
+    """
+    atoms = set(query.body)
+    for atom in sorted(atoms, key=str):
+        candidate_atoms = atoms - {atom}
+        if not candidate_atoms and query.head:
+            continue
+        mapping = _retraction_onto(query, candidate_atoms)
+        if mapping is None:
+            continue
+        image_atoms = {a.apply(mapping) for a in query.body}
+        return ConjunctiveQuery(query.head, sorted(image_atoms, key=str), name=query.name)
+    return None
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return the core of ``query`` (a minimal equivalent CQ).
+
+    The result is unique up to isomorphism; this function returns one
+    concrete representative whose atoms are a subset of (an endomorphic image
+    of) the original body.
+    """
+    current = query
+    while True:
+        folded = fold_once(current)
+        if folded is None or len(folded) >= len(current):
+            return current
+        current = folded
+
+
+def is_core(query: ConjunctiveQuery) -> bool:
+    """Return ``True`` iff ``query`` admits no proper fold."""
+    return fold_once(query) is None
+
+
+def equivalent_queries(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Return ``True`` iff the two CQs are equivalent over all databases.
+
+    Classical Chandra–Merlin test: ``left ⊆ right`` iff the frozen head of
+    ``left`` is an answer of ``right`` over the canonical database of
+    ``left``; equivalence is containment both ways.
+    """
+    return contained_in(left, right) and contained_in(right, left)
+
+
+def contained_in(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Return ``True`` iff ``left ⊆ right`` over all databases (no constraints)."""
+    if len(left.head) != len(right.head):
+        return False
+    database, freezing = left.freeze()
+    answer = tuple(freezing[v] for v in left.head)
+    return right.holds_in(database, answer)
+
+
+def is_semantically_acyclic_unconstrained(query: ConjunctiveQuery) -> bool:
+    """Semantic acyclicity in the absence of constraints.
+
+    A CQ is equivalent to an acyclic CQ over *all* databases iff its core is
+    acyclic (Section 1); this check is NP-complete and is implemented exactly
+    that way.
+    """
+    return core(query).is_acyclic()

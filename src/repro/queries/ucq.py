@@ -1,0 +1,126 @@
+"""Unions of conjunctive queries (UCQs).
+
+A UCQ ``Q(x̄) = q1(x̄) ∨ ... ∨ qn(x̄)`` is a disjunction of CQs over the same
+schema, all with the same number of free variables.  UCQs appear in the
+paper both as the target language of rewritings (Section 5) and as inputs to
+the liberal notion of semantic acyclicity of Section 8.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..datamodel import Predicate, Schema, Term
+from .cq import ConjunctiveQuery
+
+
+class UnionOfConjunctiveQueries:
+    """A union of CQs with a common answer arity."""
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery], name: str = "Q") -> None:
+        self._disjuncts: Tuple[ConjunctiveQuery, ...] = tuple(disjuncts)
+        self.name = name
+        if not self._disjuncts:
+            raise ValueError("a UCQ must have at least one disjunct")
+        arities = {len(q.head) for q in self._disjuncts}
+        if len(arities) > 1:
+            raise ValueError(
+                f"all disjuncts must have the same number of free variables, "
+                f"got arities {sorted(arities)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def disjuncts(self) -> Tuple[ConjunctiveQuery, ...]:
+        return self._disjuncts
+
+    @property
+    def arity(self) -> int:
+        """Number of free variables of every disjunct."""
+        return len(self._disjuncts[0].head)
+
+    def __len__(self) -> int:
+        return len(self._disjuncts)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._disjuncts)
+
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def height(self) -> int:
+        """The *height* of the UCQ: the maximal size of its disjuncts.
+
+        This is the measure bounded by ``f_C(q, Σ)`` in Propositions 17/19.
+        """
+        return max(len(q) for q in self._disjuncts)
+
+    def total_size(self) -> int:
+        """Total number of atoms across all disjuncts."""
+        return sum(len(q) for q in self._disjuncts)
+
+    def predicates(self) -> Set[Predicate]:
+        result: Set[Predicate] = set()
+        for disjunct in self._disjuncts:
+            result.update(disjunct.predicates())
+        return result
+
+    def schema(self) -> Schema:
+        return Schema(self.predicates())
+
+    # ------------------------------------------------------------------
+    def evaluate(self, instance: object) -> Set[Tuple[Term, ...]]:
+        """Return ``Q(I) = q1(I) ∪ ... ∪ qn(I)``."""
+        answers: Set[Tuple[Term, ...]] = set()
+        for disjunct in self._disjuncts:
+            answers.update(disjunct.evaluate(instance))
+        return answers
+
+    def holds_in(self, instance: object, answer: Sequence[Term] = ()) -> bool:
+        """Return ``True`` iff some disjunct has the given answer in ``instance``."""
+        if self.is_boolean():
+            return any(q.holds_in(instance) for q in self._disjuncts)
+        return any(q.holds_in(instance, answer) for q in self._disjuncts)
+
+    # ------------------------------------------------------------------
+    def add(self, disjunct: ConjunctiveQuery) -> "UnionOfConjunctiveQueries":
+        """Return a new UCQ extended with ``disjunct``."""
+        return UnionOfConjunctiveQueries(self._disjuncts + (disjunct,), name=self.name)
+
+    def without(self, disjunct: ConjunctiveQuery) -> "UnionOfConjunctiveQueries":
+        """Return a new UCQ without the given disjunct (syntactic equality)."""
+        remaining = [q for q in self._disjuncts if q != disjunct]
+        return UnionOfConjunctiveQueries(remaining, name=self.name)
+
+    def deduplicate(self) -> "UnionOfConjunctiveQueries":
+        """Remove syntactically duplicate disjuncts (order preserved)."""
+        seen: Set[ConjunctiveQuery] = set()
+        unique: List[ConjunctiveQuery] = []
+        for disjunct in self._disjuncts:
+            if disjunct not in seen:
+                seen.add(disjunct)
+                unique.append(disjunct)
+        return UnionOfConjunctiveQueries(unique, name=self.name)
+
+    def is_acyclic(self) -> bool:
+        """Return ``True`` iff every disjunct is an acyclic CQ."""
+        return all(q.is_acyclic() for q in self._disjuncts)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnionOfConjunctiveQueries):
+            return NotImplemented
+        return set(self._disjuncts) == set(other._disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._disjuncts))
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"[{q}]" for q in self._disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionOfConjunctiveQueries({len(self._disjuncts)} disjuncts)"
+
+
+#: Short alias used throughout the library.
+UCQ = UnionOfConjunctiveQueries

@@ -1,0 +1,167 @@
+"""Plain-text reporting helpers shared by the benchmark harness.
+
+Every benchmark in ``benchmarks/`` regenerates one of the paper's artefacts
+(an example, a figure, or the algorithmic content of a theorem) and prints
+the rows/series it measured.  This module keeps that output uniform:
+
+* :class:`Table` — a fixed-column ASCII/markdown table with typed cells;
+* :class:`Series` — a named sequence of ``(x, y)`` measurements with a
+  compact rendering (used for scaling experiments);
+* :class:`ExperimentRecord` — one paper-artefact-versus-measured entry, plus
+  :func:`render_experiment_records` which produces the markdown blocks that
+  ``EXPERIMENTS.md`` is assembled from.
+
+Nothing here depends on the rest of the library; the benchmarks import it,
+and the tests exercise the formatting directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_cell(value: Cell, float_digits: int = 3) -> str:
+    """Render one table cell: floats get fixed precision, ``None`` a dash."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+class Table:
+    """A small fixed-column table renderable as ASCII or markdown."""
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *values: Cell, **named: Cell) -> None:
+        """Add a row either positionally or by column name (not both)."""
+        if values and named:
+            raise ValueError("pass the row positionally or by name, not both")
+        if named:
+            unknown = set(named) - set(self.columns)
+            if unknown:
+                raise ValueError(f"unknown columns: {sorted(unknown)}")
+            values = tuple(named.get(column) for column in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append([format_cell(value) for value in values])
+
+    @property
+    def rows(self) -> List[List[str]]:
+        return [list(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    def _widths(self) -> List[int]:
+        widths = [len(column) for column in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """ASCII rendering with aligned columns (used by ``pytest -s`` output)."""
+        widths = self._widths()
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            column.ljust(width) for column, width in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self._rows:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (used to assemble EXPERIMENTS.md)."""
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self._rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class Series:
+    """A named series of ``(x, y)`` measurements (scaling experiments)."""
+
+    name: str
+    points: List[Tuple[Cell, Cell]] = field(default_factory=list)
+
+    def add(self, x: Cell, y: Cell) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> List[Cell]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> List[Cell]:
+        return [y for _, y in self.points]
+
+    def render(self) -> str:
+        body = ", ".join(
+            f"{format_cell(x)}→{format_cell(y)}" for x, y in self.points
+        )
+        return f"{self.name}: {body}"
+
+    def is_monotone_nondecreasing(self) -> bool:
+        """``True`` iff the numeric ``y`` values never decrease (trend check)."""
+        numeric = [y for _, y in self.points if isinstance(y, (int, float))]
+        return all(later >= earlier for earlier, later in zip(numeric, numeric[1:]))
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class ExperimentRecord:
+    """One paper artefact together with what the harness measured."""
+
+    experiment_id: str
+    paper_artifact: str
+    paper_claim: str
+    measured: str
+    matches: bool
+    bench_target: str
+
+    def to_markdown(self) -> str:
+        status = "reproduced" if self.matches else "NOT reproduced"
+        return "\n".join(
+            [
+                f"### {self.experiment_id} — {self.paper_artifact}",
+                "",
+                f"* **Paper claim:** {self.paper_claim}",
+                f"* **Measured:** {self.measured}",
+                f"* **Status:** {status}",
+                f"* **Bench target:** `{self.bench_target}`",
+            ]
+        )
+
+
+def render_experiment_records(records: Iterable[ExperimentRecord]) -> str:
+    """Render a sequence of experiment records as markdown sections."""
+    return "\n\n".join(record.to_markdown() for record in records)

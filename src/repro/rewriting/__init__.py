@@ -1,0 +1,33 @@
+"""UCQ rewriting of CQs under tgds (the engine behind Section 5)."""
+
+from .ucq_rewriting import (
+    DEFAULT_REWRITING_CONFIG,
+    RewritingBudgetExceeded,
+    RewritingConfig,
+    rewrite,
+    rewrite_step,
+    rewriting_contained_under_tgds,
+)
+from .bounds import (
+    max_arity,
+    predicate_count,
+    predicates_of_problem,
+    small_query_bound_guarded,
+    small_query_bound_ucq_rewritable,
+    ucq_rewritable_height_bound,
+)
+
+__all__ = [
+    "DEFAULT_REWRITING_CONFIG",
+    "RewritingBudgetExceeded",
+    "RewritingConfig",
+    "max_arity",
+    "predicate_count",
+    "predicates_of_problem",
+    "rewrite",
+    "rewrite_step",
+    "rewriting_contained_under_tgds",
+    "small_query_bound_guarded",
+    "small_query_bound_ucq_rewritable",
+    "ucq_rewritable_height_bound",
+]

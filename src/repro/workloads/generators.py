@@ -1,0 +1,561 @@
+"""Random and scalable workload generators for tests and benchmarks.
+
+The generators are deliberately seeded (every function takes an explicit
+``random.Random`` or a seed) so that benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chase.tgd_chase import chase
+from ..datamodel import Atom, Constant, Database, Instance, Predicate, Schema, Variable
+from ..dependencies.egd import EGD
+from ..dependencies.fd import FunctionalDependency, key
+from ..dependencies.tgd import TGD
+from ..queries.cq import ConjunctiveQuery
+
+
+def _rng(seed_or_rng) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+# ----------------------------------------------------------------------
+# Schemas
+# ----------------------------------------------------------------------
+def random_schema(
+    seed=0,
+    predicate_count: int = 4,
+    max_arity: int = 3,
+    prefix: str = "R",
+) -> Schema:
+    """A schema with ``predicate_count`` predicates of random arity ≤ ``max_arity``."""
+    rng = _rng(seed)
+    return Schema(
+        Predicate(f"{prefix}{i}", rng.randint(1, max_arity))
+        for i in range(predicate_count)
+    )
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def random_acyclic_query(
+    seed=0,
+    schema: Optional[Schema] = None,
+    atom_count: int = 5,
+    free_variables: int = 0,
+    name: str = "acyclic",
+) -> ConjunctiveQuery:
+    """Generate a random acyclic CQ by growing a join tree atom by atom.
+
+    Each new atom reuses a random subset of the variables of one existing
+    atom (its parent in the join tree) and adds fresh variables for the other
+    positions, which guarantees acyclicity by construction.
+    """
+    rng = _rng(seed)
+    schema = schema or random_schema(rng)
+    predicates = list(schema.predicates())
+    atoms: List[Atom] = []
+    variable_counter = 0
+
+    def fresh() -> Variable:
+        nonlocal variable_counter
+        variable_counter += 1
+        return Variable(f"v{variable_counter}")
+
+    first_predicate = rng.choice(predicates)
+    atoms.append(Atom(first_predicate, tuple(fresh() for _ in range(first_predicate.arity))))
+    for _ in range(atom_count - 1):
+        parent = rng.choice(atoms)
+        parent_variables = sorted(parent.variables(), key=str)
+        predicate = rng.choice(predicates)
+        shared_count = rng.randint(0, min(len(parent_variables), predicate.arity))
+        shared = rng.sample(parent_variables, shared_count) if shared_count else []
+        terms: List[Variable] = []
+        for position in range(predicate.arity):
+            if position < len(shared):
+                terms.append(shared[position])
+            else:
+                terms.append(fresh())
+        rng.shuffle(terms)
+        atoms.append(Atom(predicate, tuple(terms)))
+
+    all_variables = sorted({v for atom in atoms for v in atom.variables()}, key=str)
+    head = tuple(rng.sample(all_variables, min(free_variables, len(all_variables))))
+    return ConjunctiveQuery(head, atoms, name=name)
+
+
+def cycle_query(length: int, predicate: Optional[Predicate] = None) -> ConjunctiveQuery:
+    """The Boolean ``length``-cycle query ``E(x_1,x_2) ∧ ... ∧ E(x_n,x_1)`` (cyclic for n ≥ 3)."""
+    if length < 2:
+        raise ValueError("a cycle needs at least 2 atoms")
+    predicate = predicate or Predicate("E", 2)
+    variables = [Variable(f"c{i}") for i in range(length)]
+    atoms = [
+        Atom(predicate, (variables[i], variables[(i + 1) % length]))
+        for i in range(length)
+    ]
+    return ConjunctiveQuery((), atoms, name=f"cycle_{length}")
+
+
+def path_query(length: int, predicate: Optional[Predicate] = None, free_ends: bool = False) -> ConjunctiveQuery:
+    """The ``length``-edge path query (acyclic)."""
+    if length < 1:
+        raise ValueError("a path needs at least 1 atom")
+    predicate = predicate or Predicate("E", 2)
+    variables = [Variable(f"p{i}") for i in range(length + 1)]
+    atoms = [Atom(predicate, (variables[i], variables[i + 1])) for i in range(length)]
+    head = (variables[0], variables[-1]) if free_ends else ()
+    return ConjunctiveQuery(head, atoms, name=f"path_{length}")
+
+
+def star_query(rays: int, predicate: Optional[Predicate] = None) -> ConjunctiveQuery:
+    """The star query with ``rays`` edges out of a shared centre (acyclic)."""
+    predicate = predicate or Predicate("E", 2)
+    centre = Variable("c")
+    atoms = [Atom(predicate, (centre, Variable(f"s{i}"))) for i in range(rays)]
+    return ConjunctiveQuery((), atoms, name=f"star_{rays}")
+
+
+# ----------------------------------------------------------------------
+# Dependencies
+# ----------------------------------------------------------------------
+def random_guarded_tgds(
+    seed=0,
+    schema: Optional[Schema] = None,
+    count: int = 3,
+    max_head_atoms: int = 1,
+) -> List[TGD]:
+    """Random guarded tgds: a guard atom over all body variables plus extras.
+
+    Heads default to a single atom: the acyclicity-preservation results for
+    guarded sets (Proposition 12) are about single-atom-head tgds — a
+    multi-atom head whose atoms share an existential variable can already
+    destroy acyclicity — so the generator stays within that normal form
+    unless the caller asks otherwise.
+    """
+    rng = _rng(seed)
+    schema = schema or random_schema(rng)
+    predicates = list(schema.predicates())
+    tgds: List[TGD] = []
+    for index in range(count):
+        guard_predicate = rng.choice([p for p in predicates if p.arity >= 1])
+        body_variables = [Variable(f"g{index}_{i}") for i in range(guard_predicate.arity)]
+        guard = Atom(guard_predicate, tuple(body_variables))
+        body = [guard]
+        # Optionally add a side atom over a subset of the guard variables.
+        if rng.random() < 0.5:
+            side_predicate = rng.choice(predicates)
+            side_terms = tuple(
+                rng.choice(body_variables) for _ in range(side_predicate.arity)
+            )
+            body.append(Atom(side_predicate, side_terms))
+        head: List[Atom] = []
+        existential_counter = 0
+        for _ in range(rng.randint(1, max_head_atoms)):
+            head_predicate = rng.choice(predicates)
+            terms: List[Variable] = []
+            for _ in range(head_predicate.arity):
+                if body_variables and rng.random() < 0.7:
+                    terms.append(rng.choice(body_variables))
+                else:
+                    terms.append(Variable(f"z{index}_{existential_counter}"))
+                    existential_counter += 1
+            head.append(Atom(head_predicate, tuple(terms)))
+        tgds.append(TGD(body, head, label=f"guarded_{index}"))
+    return tgds
+
+
+def random_inclusion_dependencies(
+    seed=0,
+    schema: Optional[Schema] = None,
+    count: int = 3,
+) -> List[TGD]:
+    """Random inclusion dependencies (projections between predicates)."""
+    rng = _rng(seed)
+    schema = schema or random_schema(rng)
+    predicates = list(schema.predicates())
+    tgds: List[TGD] = []
+    for index in range(count):
+        source = rng.choice(predicates)
+        target = rng.choice(predicates)
+        body_variables = [Variable(f"i{index}_{i}") for i in range(source.arity)]
+        shared = rng.sample(body_variables, min(len(body_variables), target.arity))
+        head_terms: List[Variable] = []
+        existential_counter = 0
+        for position in range(target.arity):
+            if position < len(shared):
+                head_terms.append(shared[position])
+            else:
+                head_terms.append(Variable(f"iz{index}_{existential_counter}"))
+                existential_counter += 1
+        tgds.append(
+            TGD(
+                [Atom(source, tuple(body_variables))],
+                [Atom(target, tuple(head_terms))],
+                label=f"id_{index}",
+            )
+        )
+    return tgds
+
+
+def chain_non_recursive_tgds(depth: int, arity: int = 2) -> List[TGD]:
+    """A non-recursive chain ``L_0 → L_1 → ... → L_depth`` of linear tgds."""
+    predicates = [Predicate(f"L{i}", arity) for i in range(depth + 1)]
+    tgds: List[TGD] = []
+    for i in range(depth):
+        variables = [Variable(f"x{j}") for j in range(arity)]
+        tgds.append(
+            TGD(
+                [Atom(predicates[i], tuple(variables))],
+                [Atom(predicates[i + 1], tuple(variables))],
+                label=f"chain_{i}",
+            )
+        )
+    return tgds
+
+
+def random_full_tgds(
+    seed=0,
+    schema: Optional[Schema] = None,
+    count: int = 3,
+    max_body_atoms: int = 2,
+) -> List[TGD]:
+    """Random *full* tgds: heads reuse body variables only (no existentials).
+
+    Full tgds are the class for which SemAc is undecidable (Theorem 7); the
+    generator feeds the best-effort search and the chase-termination
+    benchmarks (the chase under full tgds always terminates).
+    """
+    rng = _rng(seed)
+    schema = schema or random_schema(rng)
+    predicates = list(schema.predicates())
+    tgds: List[TGD] = []
+    for index in range(count):
+        body: List[Atom] = []
+        body_variables: List[Variable] = []
+        for atom_index in range(rng.randint(1, max_body_atoms)):
+            predicate = rng.choice(predicates)
+            terms: List[Variable] = []
+            for position in range(predicate.arity):
+                if body_variables and rng.random() < 0.4:
+                    terms.append(rng.choice(body_variables))
+                else:
+                    variable = Variable(f"f{index}_{atom_index}_{position}")
+                    body_variables.append(variable)
+                    terms.append(variable)
+            body.append(Atom(predicate, tuple(terms)))
+        head_predicate = rng.choice(predicates)
+        head_terms = tuple(
+            rng.choice(body_variables) for _ in range(head_predicate.arity)
+        )
+        tgds.append(
+            TGD(body, [Atom(head_predicate, head_terms)], label=f"full_{index}")
+        )
+    return tgds
+
+
+def random_non_recursive_tgds(
+    seed=0,
+    schema: Optional[Schema] = None,
+    count: int = 3,
+) -> List[TGD]:
+    """Random non-recursive tgds: head predicates strictly later in a fixed order.
+
+    A total order over the schema's predicates is fixed and every generated
+    tgd uses body predicates strictly below its head predicate, which makes
+    the predicate graph acyclic by construction.
+    """
+    rng = _rng(seed)
+    schema = schema or random_schema(rng, predicate_count=5)
+    ordered = list(schema.predicates())
+    if len(ordered) < 2:
+        raise ValueError("non-recursive generation needs at least two predicates")
+    tgds: List[TGD] = []
+    for index in range(count):
+        head_position = rng.randint(1, len(ordered) - 1)
+        head_predicate = ordered[head_position]
+        body_pool = ordered[:head_position]
+        body: List[Atom] = []
+        body_variables: List[Variable] = []
+        for atom_index in range(rng.randint(1, 2)):
+            predicate = rng.choice(body_pool)
+            terms: List[Variable] = []
+            for position in range(predicate.arity):
+                if body_variables and rng.random() < 0.4:
+                    terms.append(rng.choice(body_variables))
+                else:
+                    variable = Variable(f"n{index}_{atom_index}_{position}")
+                    body_variables.append(variable)
+                    terms.append(variable)
+            body.append(Atom(predicate, tuple(terms)))
+        head_terms: List[Variable] = []
+        existential_counter = 0
+        for _ in range(head_predicate.arity):
+            if body_variables and rng.random() < 0.7:
+                head_terms.append(rng.choice(body_variables))
+            else:
+                head_terms.append(Variable(f"nz{index}_{existential_counter}"))
+                existential_counter += 1
+        tgds.append(
+            TGD(body, [Atom(head_predicate, tuple(head_terms))], label=f"nr_{index}")
+        )
+    return tgds
+
+
+def random_sticky_tgds(
+    seed=0,
+    schema: Optional[Schema] = None,
+    count: int = 3,
+    max_attempts: int = 200,
+) -> List[TGD]:
+    """Random sticky tgds (rejection sampling against the marking procedure).
+
+    Candidate tgds (with joins, so the result is not trivially linear) are
+    generated and the whole set is kept only if it passes
+    :func:`repro.dependencies.is_sticky_set`; otherwise the offending tgd is
+    re-drawn.  The fallback after ``max_attempts`` is a set of join-free
+    linear tgds, which is sticky by construction.
+    """
+    from ..dependencies.classification import is_sticky_set
+
+    rng = _rng(seed)
+    schema = schema or random_schema(rng, predicate_count=4, max_arity=3)
+    predicates = list(schema.predicates())
+
+    def draw(index: int) -> TGD:
+        body_predicate = rng.choice(predicates)
+        other_predicate = rng.choice(predicates)
+        shared = Variable(f"s{index}_j")
+        body: List[Atom] = []
+        first_terms = [
+            shared if position == 0 else Variable(f"s{index}_a{position}")
+            for position in range(body_predicate.arity)
+        ]
+        body.append(Atom(body_predicate, tuple(first_terms)))
+        if rng.random() < 0.6:
+            second_terms = [
+                shared if position == 0 else Variable(f"s{index}_b{position}")
+                for position in range(other_predicate.arity)
+            ]
+            body.append(Atom(other_predicate, tuple(second_terms)))
+        head_predicate = rng.choice(predicates)
+        head_terms = tuple(
+            shared if position == 0 else Variable(f"s{index}_z{position}")
+            for position in range(head_predicate.arity)
+        )
+        return TGD(body, [Atom(head_predicate, head_terms)], label=f"sticky_{index}")
+
+    tgds = [draw(index) for index in range(count)]
+    attempts = 0
+    while not is_sticky_set(tgds) and attempts < max_attempts:
+        attempts += 1
+        tgds[rng.randrange(count)] = draw(rng.randrange(1_000_000))
+    if not is_sticky_set(tgds):
+        tgds = []
+        for index in range(count):
+            predicate = rng.choice(predicates)
+            variables = [Variable(f"l{index}_{i}") for i in range(predicate.arity)]
+            target = rng.choice(predicates)
+            head_terms = tuple(
+                variables[i] if i < len(variables) else Variable(f"lz{index}_{i}")
+                for i in range(target.arity)
+            )
+            tgds.append(
+                TGD(
+                    [Atom(predicate, tuple(variables))],
+                    [Atom(target, head_terms)],
+                    label=f"sticky_fallback_{index}",
+                )
+            )
+    return tgds
+
+
+def random_functional_dependencies(
+    seed=0,
+    schema: Optional[Schema] = None,
+    count: int = 3,
+    unary_only: bool = False,
+) -> List[FunctionalDependency]:
+    """Random functional dependencies over predicates of arity ≥ 2."""
+    rng = _rng(seed)
+    schema = schema or random_schema(rng, predicate_count=4, max_arity=3)
+    eligible = [p for p in schema.predicates() if p.arity >= 2]
+    if not eligible:
+        raise ValueError("the schema has no predicate of arity ≥ 2")
+    fds: List[FunctionalDependency] = []
+    for _ in range(count):
+        predicate = rng.choice(eligible)
+        positions = list(range(1, predicate.arity + 1))
+        if unary_only:
+            determinant = {rng.choice(positions)}
+        else:
+            determinant = set(
+                rng.sample(positions, rng.randint(1, max(1, predicate.arity - 1)))
+            )
+        remaining = [p for p in positions if p not in determinant]
+        if not remaining:
+            remaining = [rng.choice(positions)]
+        dependent = set(rng.sample(remaining, rng.randint(1, len(remaining))))
+        fds.append(FunctionalDependency.of(predicate, determinant, dependent))
+    return fds
+
+
+def random_keys(
+    seed=0,
+    schema: Optional[Schema] = None,
+    max_arity: Optional[int] = None,
+) -> List[FunctionalDependency]:
+    """One random key per eligible predicate of the schema.
+
+    With ``max_arity=2`` the result is a ``K2`` set (keys over unary/binary
+    predicates only), the class of Theorem 23.
+    """
+    rng = _rng(seed)
+    schema = schema or random_schema(rng, predicate_count=4, max_arity=3)
+    keys: List[FunctionalDependency] = []
+    for predicate in schema.predicates():
+        if predicate.arity < 2:
+            continue
+        if max_arity is not None and predicate.arity > max_arity:
+            continue
+        key_size = rng.randint(1, predicate.arity - 1)
+        key_positions = rng.sample(range(1, predicate.arity + 1), key_size)
+        keys.append(key(predicate, key_positions))
+    return keys
+
+
+def binary_keys(schema: Schema) -> List[EGD]:
+    """One key (first attribute) per binary predicate of ``schema`` (a K2 set)."""
+    egds: List[EGD] = []
+    for predicate in schema.predicates():
+        if predicate.arity != 2:
+            continue
+        x, y, z = Variable("kx"), Variable("ky"), Variable("kz")
+        egds.append(
+            EGD(
+                [Atom(predicate, (x, y)), Atom(predicate, (x, z))],
+                y,
+                z,
+                label=f"key_{predicate.name}",
+            )
+        )
+    return egds
+
+
+# ----------------------------------------------------------------------
+# Databases
+# ----------------------------------------------------------------------
+def random_database(
+    seed=0,
+    schema: Optional[Schema] = None,
+    facts_per_predicate: int = 30,
+    domain_size: int = 20,
+) -> Database:
+    """A random database over ``schema`` with the given number of facts."""
+    rng = _rng(seed)
+    schema = schema or random_schema(rng)
+    database = Database()
+    domain = [Constant(f"a{i}") for i in range(domain_size)]
+    for predicate in schema.predicates():
+        for _ in range(facts_per_predicate):
+            database.add(
+                Atom(predicate, tuple(rng.choice(domain) for _ in range(predicate.arity)))
+            )
+    return database
+
+
+def database_satisfying(
+    tgds: Sequence[TGD],
+    seed=0,
+    schema: Optional[Schema] = None,
+    facts_per_predicate: int = 20,
+    domain_size: int = 15,
+    max_steps: int = 20_000,
+) -> Database:
+    """A random database completed by the chase so that it satisfies ``tgds``.
+
+    The chase of a finite database under arbitrary tgds may not terminate;
+    the function raises ``ValueError`` when the step budget is exhausted so
+    that benchmarks never silently use an inconsistent database.
+    """
+    base = random_database(
+        seed, schema=schema, facts_per_predicate=facts_per_predicate, domain_size=domain_size
+    )
+    result = chase(base, list(tgds), max_steps=max_steps)
+    if not result.terminated:
+        raise ValueError("the chase of the random database did not terminate in budget")
+    database = Database()
+    database.add_all(result.instance)
+    return database
+
+
+def path_database(length: int, predicate: Optional[Predicate] = None) -> Database:
+    """A directed path with ``length`` edges (plus its edge relation only)."""
+    predicate = predicate or Predicate("E", 2)
+    database = Database()
+    for i in range(length):
+        database.add(Atom(predicate, (Constant(f"n{i}"), Constant(f"n{i + 1}"))))
+    return database
+
+
+def grid_database(rows: int, columns: int, predicate: Optional[Predicate] = None) -> Database:
+    """A ``rows × columns`` grid over one edge relation (both directions of adjacency)."""
+    predicate = predicate or Predicate("E", 2)
+    database = Database()
+
+    def node(i: int, j: int) -> Constant:
+        return Constant(f"g{i}_{j}")
+
+    for i in range(rows):
+        for j in range(columns):
+            if j + 1 < columns:
+                database.add(Atom(predicate, (node(i, j), node(i, j + 1))))
+            if i + 1 < rows:
+                database.add(Atom(predicate, (node(i, j), node(i + 1, j))))
+    return database
+
+
+def music_store_database(
+    seed=0,
+    customers: int = 30,
+    records: int = 40,
+    styles: int = 8,
+    interests_per_customer: int = 3,
+    closed_under_collector_rule: bool = True,
+) -> Database:
+    """A database for the Example 1 schema (Interest / Class / Owns).
+
+    When ``closed_under_collector_rule`` is set, the ``Owns`` relation is
+    completed so that the database satisfies the tgd of Example 1.
+    """
+    from .paper_examples import CLASS, INTEREST, OWNS
+
+    rng = _rng(seed)
+    database = Database()
+    style_constants = [Constant(f"style{i}") for i in range(styles)]
+    record_constants = [Constant(f"record{i}") for i in range(records)]
+    customer_constants = [Constant(f"cust{i}") for i in range(customers)]
+
+    record_styles: Dict[Constant, Constant] = {}
+    for record in record_constants:
+        style = rng.choice(style_constants)
+        record_styles[record] = style
+        database.add(Atom(CLASS, (record, style)))
+
+    for customer in customer_constants:
+        liked = rng.sample(style_constants, min(interests_per_customer, styles))
+        for style in liked:
+            database.add(Atom(INTEREST, (customer, style)))
+        # A few arbitrary purchases.
+        for record in rng.sample(record_constants, 2):
+            database.add(Atom(OWNS, (customer, record)))
+        if closed_under_collector_rule:
+            for record, style in record_styles.items():
+                if style in liked:
+                    database.add(Atom(OWNS, (customer, record)))
+    return database

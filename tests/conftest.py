@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.datamodel import Atom, Constant, Database, Predicate, Variable
+from repro.parser import parse_query, parse_tgd
+
+
+E = Predicate("E", 2)
+
+
+@pytest.fixture
+def triangle_query():
+    """The Boolean triangle query over a single binary relation (cyclic core)."""
+    return parse_query("E(x, y), E(y, z), E(z, x)", name="triangle")
+
+
+@pytest.fixture
+def path3_query():
+    """A three-edge Boolean path query (acyclic)."""
+    return parse_query("E(x, y), E(y, z), E(z, w)", name="path3")
+
+
+@pytest.fixture
+def small_edge_database():
+    """A small directed graph: a 3-cycle plus a pendant edge."""
+    database = Database()
+    a, b, c, d = (Constant(x) for x in "abcd")
+    for source, target in [(a, b), (b, c), (c, a), (c, d)]:
+        database.add(Atom(E, (source, target)))
+    return database
+
+
+@pytest.fixture
+def music_store():
+    """Example 1: query, tgd and the paper's acyclic reformulation."""
+    from repro.workloads.paper_examples import (
+        example1_acyclic_reformulation,
+        example1_query,
+        example1_tgd,
+    )
+
+    return example1_query(), [example1_tgd()], example1_acyclic_reformulation()

@@ -1,0 +1,198 @@
+"""Failure-injection tests: budgets, unsatisfiable inputs and error paths.
+
+The library is explicit about resource budgets (chase steps, rewriting size,
+candidate counts) and about invalid inputs; these tests pin down the error
+contracts so that callers can rely on them.
+"""
+
+import pytest
+
+from repro.chase import ChaseBudgetExceeded, EGDChaseFailure, chase, egd_chase
+from repro.containment import (
+    ContainmentConfig,
+    ContainmentOutcome,
+    contained_under_tgds,
+)
+from repro.core import SemAcConfig, decide_semantic_acyclicity_tgds
+from repro.datamodel import Atom, Constant, Database, Instance, Predicate, Variable
+from repro.dependencies import TGD
+from repro.dependencies.fd import FunctionalDependency, key
+from repro.evaluation import AcyclicityRequired, YannakakisEvaluator
+from repro.evaluation.semacyclic_eval import NotSemanticallyAcyclic, evaluate_via_reformulation
+from repro.hypergraph import JoinTreeError, build_join_tree, treewidth_exact
+from repro.parser import ParseError, parse_atom, parse_egd, parse_query, parse_tgd
+from repro.rewriting import RewritingBudgetExceeded, RewritingConfig, rewrite
+
+
+E = Predicate("E", 2)
+
+
+def diverging_tgds():
+    return [parse_tgd("E(x, y) -> E(y, z)", label="diverge")]
+
+
+def seed_database():
+    return Database([Atom(E, (Constant("a"), Constant("b")))])
+
+
+class TestChaseBudgets:
+    def test_budget_exhaustion_returns_truncated_result_by_default(self):
+        result = chase(seed_database(), diverging_tgds(), max_steps=3)
+        assert not result.terminated
+        assert result.budget_exhausted
+        assert len(result.instance) == 1 + 3
+
+    def test_budget_exhaustion_can_raise(self):
+        with pytest.raises(ChaseBudgetExceeded):
+            chase(seed_database(), diverging_tgds(), max_steps=3, on_budget="raise")
+
+    def test_depth_budget_marks_result_incomplete(self):
+        result = chase(seed_database(), diverging_tgds(), max_depth=2)
+        assert result.budget_exhausted
+        assert not result.terminated
+        assert result.max_depth() <= 2
+
+    def test_unknown_chase_variant_is_rejected(self):
+        with pytest.raises(ValueError):
+            chase(seed_database(), diverging_tgds(), variant="lazy")
+
+    def test_truncated_chase_is_still_a_sound_underapproximation(self):
+        truncated = chase(seed_database(), diverging_tgds(), max_steps=4)
+        longer = chase(seed_database(), diverging_tgds(), max_steps=8)
+        # Atom counts grow monotonically with the budget.
+        assert len(truncated.instance) <= len(longer.instance)
+
+
+class TestEgdChaseFailures:
+    def test_constant_clash_raises_by_default(self):
+        database = Database(
+            [
+                Atom(E, (Constant("a"), Constant("b"))),
+                Atom(E, (Constant("a"), Constant("c"))),
+            ]
+        )
+        egd = parse_egd("E(x, y), E(x, z) -> y = z")
+        with pytest.raises(EGDChaseFailure):
+            egd_chase(database, [egd])
+
+    def test_constant_clash_can_be_returned(self):
+        database = Database(
+            [
+                Atom(E, (Constant("a"), Constant("b"))),
+                Atom(E, (Constant("a"), Constant("c"))),
+            ]
+        )
+        egd = parse_egd("E(x, y), E(x, z) -> y = z")
+        result = egd_chase(database, [egd], on_failure="return")
+        assert result.failed
+
+
+class TestContainmentBudgets:
+    def test_unknown_outcome_when_budget_too_small(self):
+        left = parse_query("E(x, y)")
+        right = parse_query("E(x, y), S(y, z)")
+        outcome = contained_under_tgds(
+            left, right, diverging_tgds(), ContainmentConfig(max_steps=3)
+        )
+        assert outcome is ContainmentOutcome.UNKNOWN
+
+    def test_positive_containment_found_on_a_prefix(self):
+        # The witness appears after two chase steps, far below the budget, so
+        # the incremental check answers TRUE without chasing to the budget.
+        left = parse_query("E(x, y)")
+        right = parse_query("E(x, y), E(y, z), E(z, w)")
+        outcome = contained_under_tgds(
+            left, right, diverging_tgds(), ContainmentConfig(max_steps=10_000)
+        )
+        assert outcome is ContainmentOutcome.TRUE
+
+    def test_semac_notes_report_inconclusive_containments(self):
+        query = parse_query("E(x, y), E(y, z), E(z, x)")
+        config = SemAcConfig(chase_max_steps=3)
+        decision = decide_semantic_acyclicity_tgds(query, diverging_tgds(), config)
+        assert not decision.semantically_acyclic
+        assert not decision.exhaustive
+        assert decision.notes
+
+
+class TestRewritingBudgets:
+    def test_rewriting_budget_exceeded(self):
+        tgds = [
+            parse_tgd("A(x, y) -> B(x, y)", label="ab"),
+            parse_tgd("B(x, y) -> C(x, y)", label="bc"),
+            parse_tgd("C(x, y) -> D(x, y)", label="cd"),
+        ]
+        query = parse_query("D(x, y), D(y, z), D(z, w)")
+        with pytest.raises(RewritingBudgetExceeded):
+            rewrite(query, tgds, RewritingConfig(max_disjuncts=2))
+
+    def test_round_budget(self):
+        tgds = [parse_tgd("A(x, y) -> B(x, y)", label="ab")]
+        query = parse_query("B(x, y)")
+        with pytest.raises(RewritingBudgetExceeded):
+            rewrite(query, tgds, RewritingConfig(max_rounds=0))
+
+
+class TestEvaluatorErrors:
+    def test_yannakakis_requires_acyclicity(self, triangle_query):
+        with pytest.raises(AcyclicityRequired):
+            YannakakisEvaluator(triangle_query)
+
+    def test_join_tree_requires_acyclicity(self, triangle_query):
+        with pytest.raises(JoinTreeError):
+            build_join_tree(triangle_query.body)
+
+    def test_reformulation_evaluator_rejects_non_semacyclic_queries(self, triangle_query):
+        database = Database([Atom(E, (Constant("a"), Constant("a")))])
+        with pytest.raises(NotSemanticallyAcyclic):
+            evaluate_via_reformulation(triangle_query, [], database)
+
+    def test_exact_treewidth_guard(self):
+        graph = {i: {j for j in range(20) if j != i} for i in range(20)}
+        with pytest.raises(ValueError):
+            treewidth_exact(graph, max_vertices=12)
+
+
+class TestInvalidInputs:
+    def test_parser_rejects_malformed_atoms(self):
+        for text in ("R(x", "R x, y)", "R(x,)", "1R(x)"):
+            with pytest.raises(ParseError):
+                parse_atom(text)
+
+    def test_parser_rejects_malformed_dependencies(self):
+        with pytest.raises(ParseError):
+            parse_tgd("A(x) B(x)")
+        with pytest.raises(ParseError):
+            parse_egd("A(x, y) -> x")
+        with pytest.raises(ParseError):
+            parse_egd("A(x, y) -> x = 'c'")
+
+    def test_query_head_must_be_safe(self):
+        with pytest.raises(ValueError):
+            parse_query("q(z) :- E(x, y)")
+
+    def test_atoms_validate_arity(self):
+        with pytest.raises(ValueError):
+            Atom(E, (Variable("x"),))
+
+    def test_predicates_validate_arity(self):
+        with pytest.raises(ValueError):
+            Predicate("R", -1)
+
+    def test_instances_reject_non_ground_atoms(self):
+        with pytest.raises(ValueError):
+            Instance([Atom(E, (Variable("x"), Constant("a")))])
+
+    def test_tgds_need_body_and_head(self):
+        with pytest.raises(ValueError):
+            TGD([], [Atom(E, (Variable("x"), Variable("y")))])
+        with pytest.raises(ValueError):
+            TGD([Atom(E, (Variable("x"), Variable("y")))], [])
+
+    def test_fd_positions_validated(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency.of(E, {1}, {5})
+        with pytest.raises(ValueError):
+            FunctionalDependency.of(E, set(), {2})
+        with pytest.raises(ValueError):
+            key(E, {1, 2})

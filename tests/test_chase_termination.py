@@ -1,0 +1,168 @@
+"""Tests for chase termination certificates and the variant comparison."""
+
+import pytest
+
+from repro.chase import (
+    ChaseComparison,
+    certify_termination,
+    chase,
+    chase_depth_bound,
+    compare_chase_variants,
+    full_chase_size_bound,
+    recommended_step_budget,
+)
+from repro.datamodel import Atom, Constant, Database, Instance, Predicate, Variable
+from repro.parser import parse_query, parse_tgd
+from repro.workloads.generators import chain_non_recursive_tgds, path_database
+from repro.workloads.paper_examples import example1_tgd, example2_tgd
+
+
+E = Predicate("E", 2)
+P = Predicate("P", 1)
+
+
+def diverging_tgd():
+    """E(x, y) → ∃z E(y, z): the textbook non-terminating (oblivious) chase."""
+    return parse_tgd("E(x, y) -> E(y, z)", label="diverge")
+
+
+class TestCertificates:
+    def test_empty_set_certificate(self):
+        certificate = certify_termination([])
+        assert certificate.guaranteed
+        assert certificate.reason == "empty"
+        assert certificate.depth_bound == 0
+        assert bool(certificate)
+
+    def test_full_recursive_tgds_certificate(self):
+        # Transitivity is full but recursive, so the "full" reason applies.
+        transitivity = parse_tgd("E(x, y), E(y, z) -> E(x, z)", label="trans")
+        certificate = certify_termination([transitivity])
+        assert certificate.guaranteed
+        assert certificate.reason == "full"
+
+    def test_full_non_recursive_tgds_prefer_the_depth_bound(self):
+        # Example 1 / Example 2 tgds are full *and* non-recursive; the more
+        # informative non-recursive certificate (with a depth bound) wins.
+        certificate = certify_termination([example1_tgd(), example2_tgd()])
+        assert certificate.guaranteed
+        assert certificate.reason == "non-recursive"
+        assert certificate.depth_bound is not None
+
+    def test_non_recursive_certificate_reports_stratification_depth(self):
+        tgds = chain_non_recursive_tgds(depth=4)
+        certificate = certify_termination(tgds)
+        assert certificate.guaranteed
+        assert certificate.reason == "non-recursive"
+        assert certificate.depth_bound == 4
+
+    def test_weakly_acyclic_certificate(self):
+        # Recursive on predicates (R feeds R) but the existential position is
+        # never copied back, so the set is weakly acyclic.
+        tgd = parse_tgd("R(x, y) -> S(y, z)", label="wa")
+        tgd2 = parse_tgd("S(x, y) -> R(x, x)", label="wa2")
+        certificate = certify_termination([tgd, tgd2])
+        assert certificate.guaranteed
+        assert certificate.reason in ("weakly-acyclic", "non-recursive")
+
+    def test_diverging_tgd_has_no_certificate(self):
+        certificate = certify_termination([diverging_tgd()])
+        assert not certificate.guaranteed
+        assert certificate.reason == "none"
+        assert not bool(certificate)
+
+    def test_certificate_explanations_are_informative(self):
+        for tgds in ([], [example1_tgd()], [diverging_tgd()]):
+            certificate = certify_termination(tgds)
+            assert certificate.explanation
+            assert len(certificate.explanation) > 20
+
+    def test_depth_bound_helper_matches_certificate(self):
+        tgds = chain_non_recursive_tgds(depth=3)
+        assert chase_depth_bound(tgds) == 3
+        assert chase_depth_bound([diverging_tgd()]) is None
+
+
+class TestSizeAndStepBudgets:
+    def test_full_size_bound_rejects_non_full_sets(self):
+        with pytest.raises(ValueError):
+            full_chase_size_bound(Database(), [diverging_tgd()])
+
+    def test_full_size_bound_is_an_actual_bound_on_databases(self):
+        database = path_database(4)
+        tgds = [parse_tgd("E(x, y), E(y, z) -> E(x, z)", label="trans")]
+        bound = full_chase_size_bound(database, tgds)
+        result = chase(database, tgds, max_steps=bound + 10)
+        assert result.terminated
+        assert len(result.instance) <= bound
+
+    def test_full_size_bound_on_queries(self):
+        query = parse_query("E(x, y), E(y, z)")
+        tgds = [parse_tgd("E(x, y), E(y, z) -> E(x, z)", label="trans")]
+        bound = full_chase_size_bound(query, tgds)
+        # Three terms and one binary predicate: at most 9 atoms.
+        assert bound == 9
+
+    def test_recommended_budget_covers_full_chase(self):
+        database = path_database(6)
+        tgds = [parse_tgd("E(x, y), E(y, z) -> E(x, z)", label="trans")]
+        budget = recommended_step_budget(database, tgds, default=10)
+        result = chase(database, tgds, max_steps=budget)
+        assert result.terminated
+
+    def test_recommended_budget_respects_cap(self):
+        database = path_database(3)
+        tgds = [parse_tgd("E(x, y), E(y, z) -> E(x, z)", label="trans")]
+        assert recommended_step_budget(database, tgds, default=10, cap=5) == 5
+
+    def test_recommended_budget_defaults_for_uncertified_sets(self):
+        database = path_database(3)
+        assert recommended_step_budget(database, [diverging_tgd()], default=123) == 123
+
+
+class TestVariantComparison:
+    def test_oblivious_never_smaller_than_restricted(self):
+        database = path_database(4)
+        tgds = chain_non_recursive_tgds(depth=2)
+        # Rename the chain's base predicate to E so it fires on the path.
+        tgds = [
+            parse_tgd("E(x, y) -> L1(x, y)", label="lift"),
+            parse_tgd("L1(x, y) -> L2(x, y)", label="lift2"),
+        ]
+        comparison = compare_chase_variants(database, tgds)
+        assert isinstance(comparison, ChaseComparison)
+        assert comparison.both_terminated
+        assert comparison.oblivious_size >= comparison.restricted_size
+        assert comparison.oblivious_overhead() >= 1.0
+
+    def test_comparison_summary_mentions_both_variants(self):
+        database = path_database(2)
+        tgds = [parse_tgd("E(x, y) -> S(x, y)", label="copy")]
+        comparison = compare_chase_variants(database, tgds)
+        summary = comparison.summary()
+        assert "restricted" in summary and "oblivious" in summary
+
+    def test_oblivious_overhead_on_already_satisfied_heads(self):
+        # A 2-cycle already satisfies E(x, y) → ∃z E(y, z), so the restricted
+        # chase adds nothing, while the oblivious chase fires every trigger
+        # anyway and keeps inventing nulls until its budget runs out.
+        database = Database(
+            [
+                Atom(E, (Constant("a"), Constant("b"))),
+                Atom(E, (Constant("b"), Constant("a"))),
+            ]
+        )
+        tgds = [parse_tgd("E(x, y) -> E(y, z)", label="succ")]
+        comparison = compare_chase_variants(database, tgds, max_steps=50)
+        assert comparison.restricted.terminated
+        assert comparison.restricted_size == len(database)
+        assert comparison.oblivious_size >= comparison.restricted_size
+
+    def test_comparison_respects_step_budget(self):
+        database = Database([Atom(E, (Constant("a"), Constant("b")))])
+        comparison = compare_chase_variants(database, [diverging_tgd()], max_steps=5)
+        assert not comparison.oblivious.terminated
+
+    def test_overhead_of_empty_restricted_result(self):
+        comparison = compare_chase_variants(Database(), [diverging_tgd()], max_steps=5)
+        assert comparison.oblivious_overhead() == 1.0

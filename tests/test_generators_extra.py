@@ -1,0 +1,101 @@
+"""Tests for the extended workload generators (full / non-recursive / sticky / FDs)."""
+
+import pytest
+
+from repro.datamodel import Predicate, Schema
+from repro.dependencies import (
+    is_full_set,
+    is_k2_set,
+    is_non_recursive_set,
+    is_sticky_set,
+)
+from repro.dependencies.fd import all_keys, all_unary, fds_to_egds
+from repro.workloads.generators import (
+    random_full_tgds,
+    random_functional_dependencies,
+    random_keys,
+    random_non_recursive_tgds,
+    random_schema,
+    random_sticky_tgds,
+)
+
+
+class TestFullTgdGenerator:
+    def test_generated_sets_are_full(self):
+        for seed in range(5):
+            tgds = random_full_tgds(seed=seed, count=4)
+            assert len(tgds) == 4
+            assert is_full_set(tgds)
+
+    def test_generation_is_reproducible(self):
+        first = random_full_tgds(seed=9, count=3)
+        second = random_full_tgds(seed=9, count=3)
+        assert [str(t) for t in first] == [str(t) for t in second]
+
+    def test_respects_body_size_cap(self):
+        tgds = random_full_tgds(seed=0, count=6, max_body_atoms=1)
+        assert all(len(t.body) == 1 for t in tgds)
+
+
+class TestNonRecursiveGenerator:
+    def test_generated_sets_are_non_recursive(self):
+        for seed in range(5):
+            tgds = random_non_recursive_tgds(seed=seed, count=5)
+            assert is_non_recursive_set(tgds)
+
+    def test_rejects_single_predicate_schemas(self):
+        schema = Schema([Predicate("Only", 2)])
+        with pytest.raises(ValueError):
+            random_non_recursive_tgds(seed=0, schema=schema)
+
+    def test_reproducible(self):
+        assert [str(t) for t in random_non_recursive_tgds(seed=4)] == [
+            str(t) for t in random_non_recursive_tgds(seed=4)
+        ]
+
+
+class TestStickyGenerator:
+    def test_generated_sets_are_sticky(self):
+        for seed in range(6):
+            tgds = random_sticky_tgds(seed=seed, count=3)
+            assert len(tgds) == 3
+            assert is_sticky_set(tgds)
+
+    def test_fallback_path_still_sticky(self):
+        # Even with zero rejection attempts allowed, the fallback linear set
+        # must be sticky.
+        tgds = random_sticky_tgds(seed=1, count=3, max_attempts=0)
+        assert is_sticky_set(tgds)
+
+
+class TestFdAndKeyGenerators:
+    def test_random_fds_are_well_formed(self):
+        fds = random_functional_dependencies(seed=2, count=5)
+        assert len(fds) == 5
+        assert fds_to_egds(fds)  # compiles without error
+
+    def test_unary_only_mode(self):
+        fds = random_functional_dependencies(seed=3, count=5, unary_only=True)
+        assert all_unary(fds)
+
+    def test_random_fds_need_a_binary_predicate(self):
+        schema = Schema([Predicate("U", 1)])
+        with pytest.raises(ValueError):
+            random_functional_dependencies(seed=0, schema=schema)
+
+    def test_random_keys_are_keys(self):
+        keys = random_keys(seed=1)
+        assert keys
+        assert all_keys(keys)
+
+    def test_random_keys_with_arity_cap_form_a_k2_set(self):
+        schema = Schema(
+            [Predicate("A", 1), Predicate("B", 2), Predicate("C", 2), Predicate("D", 3)]
+        )
+        keys = random_keys(seed=5, schema=schema, max_arity=2)
+        assert keys
+        assert is_k2_set(keys)
+        assert all(fd.predicate.arity <= 2 for fd in keys)
+
+    def test_reproducibility(self):
+        assert [str(f) for f in random_keys(seed=8)] == [str(f) for f in random_keys(seed=8)]

@@ -1,0 +1,190 @@
+"""Tests for hypergraphs, GYO reduction, join trees and the Lemma 9 construction."""
+
+import pytest
+
+from repro.datamodel import Atom, Constant, Instance, Null, Predicate, Variable, freeze_variable
+from repro.hypergraph import (
+    JoinTreeError,
+    build_join_tree,
+    compact_acyclic_query,
+    gyo_reduction,
+    hypergraph_of_instance,
+    hypergraph_of_query_atoms,
+    instance_connectors,
+    is_acyclic_atoms,
+    is_acyclic_instance,
+    is_valid_join_tree,
+    join_tree_of_instance,
+    join_tree_of_query_atoms,
+    query_connectors,
+)
+from repro.parser import parse_query
+from repro.queries import contained_in
+
+
+E = Predicate("E", 2)
+S = Predicate("S", 3)
+
+
+class TestConnectorPolicies:
+    def test_query_connectors(self):
+        assert query_connectors(Variable("x"))
+        assert query_connectors(Null("n"))
+        assert not query_connectors(Constant("a"))
+
+    def test_instance_connectors(self):
+        assert instance_connectors(Null("n"))
+        assert instance_connectors(freeze_variable(Variable("x")))
+        assert not instance_connectors(Constant("a"))
+
+    def test_hypergraph_edges_mirror_atoms(self):
+        query = parse_query("E(x, y), S(x, y, z)")
+        hypergraph = hypergraph_of_query_atoms(query.body)
+        assert len(hypergraph) == 2
+        assert hypergraph.vertices() == {Variable("x"), Variable("y"), Variable("z")}
+
+
+class TestGYO:
+    def test_path_is_acyclic(self):
+        query = parse_query("E(x, y), E(y, z), E(z, w)")
+        assert is_acyclic_atoms(query.body)
+
+    def test_triangle_is_cyclic(self, triangle_query):
+        assert not is_acyclic_atoms(triangle_query.body)
+
+    def test_covered_triangle_is_acyclic(self):
+        query = parse_query("E(x, y), E(y, z), E(z, x), S(x, y, z)")
+        assert is_acyclic_atoms(query.body)
+
+    def test_star_is_acyclic(self):
+        query = parse_query("E(c, a), E(c, b), E(c, d)")
+        assert is_acyclic_atoms(query.body)
+
+    def test_square_is_cyclic(self):
+        query = parse_query("E(a, b), E(b, c), E(c, d), E(d, a)")
+        assert not is_acyclic_atoms(query.body)
+
+    def test_disconnected_acyclic_components(self):
+        query = parse_query("E(x, y), E(u, v)")
+        assert is_acyclic_atoms(query.body)
+
+    def test_constants_do_not_create_cycles(self):
+        # A "triangle" through a constant is not a cycle of the query hypergraph.
+        query = parse_query("E(x, 'c'), E('c', y), E(y, x)")
+        assert is_acyclic_atoms(query.body)
+
+    def test_instance_acyclicity_uses_nulls(self):
+        cyclic = Instance(
+            [
+                Atom(E, (Null("a"), Null("b"))),
+                Atom(E, (Null("b"), Null("c"))),
+                Atom(E, (Null("c"), Null("a"))),
+            ]
+        )
+        acyclic_with_constants = Instance(
+            [
+                Atom(E, (Constant("a"), Constant("b"))),
+                Atom(E, (Constant("b"), Constant("c"))),
+                Atom(E, (Constant("c"), Constant("a"))),
+            ]
+        )
+        assert not is_acyclic_instance(cyclic)
+        assert is_acyclic_instance(acyclic_with_constants)
+
+    def test_gyo_reports_parents_for_acyclic_inputs(self):
+        query = parse_query("E(x, y), E(y, z)")
+        result = gyo_reduction(hypergraph_of_query_atoms(query.body))
+        assert result.acyclic
+        assert len(result.roots) == 1
+        assert len(result.parents) == 1
+
+
+class TestJoinTrees:
+    def test_join_tree_of_acyclic_query(self, path3_query):
+        tree = join_tree_of_query_atoms(path3_query.body)
+        assert len(tree) == 3
+        assert is_valid_join_tree(tree, path3_query.body, query_connectors)
+
+    def test_join_tree_rejects_cyclic_query(self, triangle_query):
+        with pytest.raises(JoinTreeError):
+            join_tree_of_query_atoms(triangle_query.body)
+
+    def test_join_tree_of_star(self):
+        query = parse_query("E(c, a), E(c, b), E(c, d), E(c, e)")
+        tree = join_tree_of_query_atoms(query.body)
+        assert is_valid_join_tree(tree, query.body, query_connectors)
+
+    def test_join_tree_of_disconnected_query(self):
+        query = parse_query("E(x, y), E(u, v), E(v, w)")
+        tree = join_tree_of_query_atoms(query.body)
+        assert len(tree) == 3
+        assert is_valid_join_tree(tree, query.body, query_connectors)
+
+    def test_join_tree_navigation(self):
+        query = parse_query("E(x, y), E(y, z), E(z, w), E(z, u)")
+        tree = join_tree_of_query_atoms(query.body)
+        root = tree.root
+        assert tree.parent(root) is None
+        bottom_up = tree.bottom_up_order()
+        assert bottom_up[-1] == root
+        for identifier in tree.node_ids():
+            for child in tree.children(identifier):
+                assert tree.parent(child) == identifier
+        leaves = tree.leaves()
+        assert leaves
+        # The path between two leaves passes through their common ancestor.
+        if len(leaves) >= 2:
+            path = tree.path(leaves[0], leaves[1])
+            assert path[0] == leaves[0] and path[-1] == leaves[1]
+
+    def test_join_tree_of_instance_with_frozen_constants(self):
+        query = parse_query("E(x, y), E(y, z)")
+        database = query.canonical_database()
+        tree = join_tree_of_instance(database)
+        assert is_valid_join_tree(tree, database, instance_connectors)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(JoinTreeError):
+            build_join_tree([])
+
+
+class TestCompactAcyclicQuery:
+    def test_lemma9_on_a_long_path(self):
+        # q asks for a single edge; the instance is a long frozen path.  The
+        # compact query must contain the image, be acyclic, small, and
+        # contained in q.
+        query = parse_query("E(x, y)")
+        path = parse_query("E(a, b), E(b, c), E(c, d), E(d, e), E(e, f)")
+        instance = path.canonical_database()
+        compact = compact_acyclic_query(query, instance)
+        assert compact is not None
+        assert compact.is_acyclic()
+        assert len(compact) <= 2 * len(query)
+        assert contained_in(compact, query)
+
+    def test_lemma9_respects_answers(self):
+        query = parse_query("q(x) :- E(x, y), E(y, z)")
+        path = parse_query("E(a, b), E(b, c), E(c, d)")
+        instance = path.canonical_database()
+        answer = (freeze_variable(Variable("a")),)
+        compact = compact_acyclic_query(query, instance, answer=answer)
+        assert compact is not None
+        assert len(compact.head) == 1
+        assert contained_in(compact, query)
+
+    def test_lemma9_returns_none_when_query_does_not_hold(self):
+        query = parse_query("E(x, x)")
+        path = parse_query("E(a, b), E(b, c)")
+        compact = compact_acyclic_query(query, path.canonical_database())
+        assert compact is None
+
+    def test_lemma9_size_bound_on_branching_instances(self):
+        # A star instance with many rays: the compact query stays within 2|q|.
+        query = parse_query("E(x, y), E(x, z)")
+        star = parse_query(
+            "E(c, a1), E(c, a2), E(c, a3), E(c, a4), E(c, a5), E(c, a6)"
+        )
+        compact = compact_acyclic_query(query, star.canonical_database())
+        assert compact is not None
+        assert len(compact) <= 2 * len(query)
+        assert contained_in(compact, query)

@@ -1,0 +1,127 @@
+"""Tests for dependency implication and minimal covers (repro.containment.implication)."""
+
+import pytest
+
+from repro.containment import (
+    ContainmentOutcome,
+    dependency_implied,
+    minimal_cover,
+    redundant_dependencies,
+)
+from repro.datamodel import Predicate
+from repro.dependencies.fd import FunctionalDependency, fds_to_egds, key
+from repro.parser import parse_egd, parse_tgd
+
+
+R3 = Predicate("R", 3)
+
+
+class TestTgdImplication:
+    def test_transitive_chain_is_implied(self):
+        sigma = [
+            parse_tgd("A(x, y) -> B(x, y)", label="ab"),
+            parse_tgd("B(x, y) -> C(x, y)", label="bc"),
+        ]
+        candidate = parse_tgd("A(x, y) -> C(x, y)", label="ac")
+        assert dependency_implied(sigma, candidate) is ContainmentOutcome.TRUE
+
+    def test_unrelated_tgd_is_not_implied(self):
+        sigma = [parse_tgd("A(x, y) -> B(x, y)", label="ab")]
+        candidate = parse_tgd("A(x, y) -> D(x, y)", label="ad")
+        assert dependency_implied(sigma, candidate) is ContainmentOutcome.FALSE
+
+    def test_existential_heads_are_handled(self):
+        sigma = [parse_tgd("Person(x) -> Parent(x, y)", label="p")]
+        candidate = parse_tgd("Person(x) -> Parent(x, z)", label="p2")
+        assert dependency_implied(sigma, candidate) is ContainmentOutcome.TRUE
+
+    def test_direction_matters(self):
+        sigma = [parse_tgd("A(x, y) -> B(x, y)", label="ab")]
+        candidate = parse_tgd("B(x, y) -> A(x, y)", label="ba")
+        assert dependency_implied(sigma, candidate) is ContainmentOutcome.FALSE
+
+    def test_every_member_of_sigma_is_implied_by_sigma(self):
+        sigma = [
+            parse_tgd("A(x, y) -> B(x, y)", label="ab"),
+            parse_tgd("B(x, y), B(y, z) -> B(x, z)", label="trans"),
+        ]
+        for dependency in sigma:
+            assert dependency_implied(sigma, dependency) is ContainmentOutcome.TRUE
+
+    def test_diverging_sigma_yields_unknown_for_non_implied_candidates(self):
+        from repro.containment import ContainmentConfig
+
+        sigma = [parse_tgd("E(x, y) -> E(y, z)", label="diverge")]
+        candidate = parse_tgd("E(x, y) -> F(x, y)", label="ef")
+        outcome = dependency_implied(sigma, candidate, ContainmentConfig(max_steps=20))
+        assert outcome is ContainmentOutcome.UNKNOWN
+
+
+class TestEgdAndFdImplication:
+    def test_fd_transitivity(self):
+        # R(a, b, c) with a → b and b → c implies a → c (Armstrong).
+        a_to_b = FunctionalDependency.of(R3, {1}, {2})
+        b_to_c = FunctionalDependency.of(R3, {2}, {3})
+        a_to_c = FunctionalDependency.of(R3, {1}, {3})
+        sigma = fds_to_egds([a_to_b, b_to_c])
+        for candidate in fds_to_egds([a_to_c]):
+            assert dependency_implied(sigma, candidate) is ContainmentOutcome.TRUE
+
+    def test_fd_not_implied(self):
+        a_to_b = FunctionalDependency.of(R3, {1}, {2})
+        c_to_b = FunctionalDependency.of(R3, {3}, {2})
+        sigma = fds_to_egds([a_to_b])
+        for candidate in fds_to_egds([c_to_b]):
+            assert dependency_implied(sigma, candidate) is ContainmentOutcome.FALSE
+
+    def test_egd_implied_through_tgds(self):
+        # Copying R into S and having a key on S forces the key on R as well.
+        sigma = [
+            parse_tgd("R(x, y) -> S(x, y)", label="copy"),
+            parse_egd("S(x, y), S(x, z) -> y = z", label="s_key"),
+        ]
+        candidate = parse_egd("R(x, y), R(x, z) -> y = z", label="r_key")
+        assert dependency_implied(sigma, candidate) is ContainmentOutcome.TRUE
+
+    def test_key_implies_itself(self):
+        egds = fds_to_egds([key(Predicate("B", 2), {1})])
+        assert dependency_implied(egds, egds[0]) is ContainmentOutcome.TRUE
+
+
+class TestCovers:
+    def test_redundant_dependency_detected(self):
+        sigma = [
+            parse_tgd("A(x, y) -> B(x, y)", label="ab"),
+            parse_tgd("B(x, y) -> C(x, y)", label="bc"),
+            parse_tgd("A(x, y) -> C(x, y)", label="ac"),
+        ]
+        assert redundant_dependencies(sigma) == [2]
+
+    def test_minimal_cover_drops_redundant_members(self):
+        sigma = [
+            parse_tgd("A(x, y) -> B(x, y)", label="ab"),
+            parse_tgd("B(x, y) -> C(x, y)", label="bc"),
+            parse_tgd("A(x, y) -> C(x, y)", label="ac"),
+        ]
+        cover = minimal_cover(sigma)
+        assert len(cover) == 2
+        # The cover still implies the dropped dependency.
+        assert dependency_implied(cover, sigma[2]) is ContainmentOutcome.TRUE
+
+    def test_minimal_cover_keeps_independent_sets_intact(self):
+        sigma = [
+            parse_tgd("A(x, y) -> B(x, y)", label="ab"),
+            parse_tgd("C(x, y) -> D(x, y)", label="cd"),
+        ]
+        assert minimal_cover(sigma) == sigma
+
+    def test_minimal_cover_of_duplicates(self):
+        sigma = [
+            parse_tgd("A(x, y) -> B(x, y)", label="first"),
+            parse_tgd("A(u, v) -> B(u, v)", label="second"),
+        ]
+        assert len(minimal_cover(sigma)) == 1
+
+    def test_empty_set_has_empty_cover(self):
+        assert minimal_cover([]) == []
+        assert redundant_dependencies([]) == []

@@ -1,0 +1,134 @@
+"""Tests for the Datalog-like parser and the pretty-printers."""
+
+import pytest
+
+from repro.datamodel import Constant, Predicate, Schema, Variable
+from repro.dependencies import EGD, TGD
+from repro.parser import (
+    ParseError,
+    format_atom,
+    format_dependency,
+    format_egd,
+    format_instance,
+    format_query,
+    format_tgd,
+    format_ucq,
+    parse_atom,
+    parse_conjunction,
+    parse_dependency,
+    parse_egd,
+    parse_program,
+    parse_query,
+    parse_tgd,
+    parse_ucq,
+)
+
+
+class TestParsing:
+    def test_parse_atom_terms(self):
+        atom = parse_atom("R(x, 'a', 3)")
+        assert atom.predicate == Predicate("R", 3)
+        assert atom.terms == (Variable("x"), Constant("a"), Constant(3))
+
+    def test_parse_nullary_atom(self):
+        atom = parse_atom("Flag()")
+        assert atom.predicate.arity == 0
+
+    def test_malformed_atoms(self):
+        for text in ["R(x", "R x)", "R(x,)", "(x, y)", "R(x y)"]:
+            with pytest.raises(ParseError):
+                parse_atom(text)
+
+    def test_parse_conjunction_splits_on_top_level_commas(self):
+        atoms = parse_conjunction("R(x, y), S(y, z, w), T(x)")
+        assert [a.predicate.name for a in atoms] == ["R", "S", "T"]
+
+    def test_parse_boolean_query(self):
+        query = parse_query("R(x, y), S(y, z, w)")
+        assert query.is_boolean()
+        assert len(query) == 2
+
+    def test_parse_query_with_head(self):
+        query = parse_query("answer(x, z) :- R(x, y), R(y, z)")
+        assert query.name == "answer"
+        assert query.head == (Variable("x"), Variable("z"))
+
+    def test_head_constants_are_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("q(x, 'a') :- R(x, y)")
+
+    def test_parse_ucq(self):
+        ucq = parse_ucq("q(x) :- R(x, y) ; q(x) :- S(x)")
+        assert len(ucq) == 2
+        assert ucq.arity == 1
+
+    def test_parse_tgd(self):
+        tgd = parse_tgd("R(x, y), S(y) -> T(x, z)")
+        assert isinstance(tgd, TGD)
+        assert tgd.existential_variables() == {Variable("z")}
+
+    def test_parse_egd(self):
+        egd = parse_egd("R(x, y), R(x, z) -> y = z")
+        assert isinstance(egd, EGD)
+        assert {egd.left, egd.right} == {Variable("y"), Variable("z")}
+
+    def test_parse_dependency_dispatch(self):
+        assert isinstance(parse_dependency("R(x, y) -> S(x)"), TGD)
+        assert isinstance(parse_dependency("R(x, y), R(x, z) -> y = z"), EGD)
+
+    def test_parse_program(self):
+        program = parse_program(
+            """
+            % keys and inclusions
+            R(x, y), R(x, z) -> y = z
+            R(x, y) -> S(x)
+            """
+        )
+        assert len(program) == 2
+        assert isinstance(program[0], EGD)
+        assert isinstance(program[1], TGD)
+
+    def test_schema_checks_arities(self):
+        schema = Schema([Predicate("R", 2)])
+        with pytest.raises(ValueError):
+            parse_atom("R(x, y, z)", schema)
+
+    def test_missing_arrow_errors(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x, y)")
+        with pytest.raises(ParseError):
+            parse_egd("R(x, y) -> S(x)")
+        with pytest.raises(ParseError):
+            parse_dependency("R(x, y)")
+
+
+class TestFormattingRoundTrips:
+    def test_atom_round_trip(self):
+        atom = parse_atom("R(x, 'a', 3)")
+        assert parse_atom(format_atom(atom)) == atom
+
+    def test_query_round_trip(self):
+        query = parse_query("q(x, z) :- R(x, y), R(y, z)")
+        assert parse_query(format_query(query)) == query
+
+    def test_boolean_query_round_trip(self):
+        query = parse_query("R(x, y), S(y, z, w)")
+        assert parse_query(format_query(query)) == query
+
+    def test_tgd_round_trip(self):
+        tgd = parse_tgd("R(x, y), S(y) -> T(x, z)")
+        assert parse_tgd(format_tgd(tgd)) == tgd
+
+    def test_egd_round_trip(self):
+        egd = parse_egd("R(x, y), R(x, z) -> y = z")
+        assert parse_egd(format_egd(egd)) == egd
+        assert "=" in format_dependency(egd)
+
+    def test_ucq_round_trip(self):
+        ucq = parse_ucq("q(x) :- R(x, y) ; q(x) :- S(x)")
+        assert parse_ucq(format_ucq(ucq)) == ucq
+
+    def test_format_instance_is_deterministic(self):
+        query = parse_query("R(x, y), S(y, z, w)")
+        database = query.canonical_database()
+        assert format_instance(database) == format_instance(database.copy())

@@ -1,0 +1,135 @@
+"""Tests for the PCP instance families feeding the Theorem 7 reduction."""
+
+import pytest
+
+from repro.core.pcp import PCPInstance, pcp_query, pcp_tgds, solution_path_query
+from repro.dependencies import is_full_set
+from repro.workloads.pcp_instances import (
+    classic_solvable,
+    classify_bounded,
+    named_instances,
+    random_instance,
+    scaled_solvable,
+    scaled_unsolvable,
+    short_solvable,
+    trivially_solvable,
+    unsolvable_length_mismatch,
+    unsolvable_letter_mismatch,
+    unsolvable_parity,
+)
+
+
+class TestNamedInstances:
+    def test_trivially_solvable_has_length_one_solution(self):
+        instance = trivially_solvable()
+        assert instance.has_solution_bounded(1) == (0,)
+
+    def test_short_solvable_needs_two_indices(self):
+        instance = short_solvable()
+        assert instance.has_solution_bounded(1) is None
+        assert instance.has_solution_bounded(2) == (0, 1)
+
+    def test_classic_instance_solution_has_length_four(self):
+        instance = classic_solvable()
+        assert instance.has_solution_bounded(3) is None
+        solution = instance.has_solution_bounded(4)
+        assert solution is not None
+        assert instance.solution_word(solution) == "bbaabbbaa"
+
+    def test_unsolvable_instances_resist_bounded_search(self):
+        for instance in (
+            unsolvable_length_mismatch(),
+            unsolvable_letter_mismatch(),
+            unsolvable_parity(),
+        ):
+            assert instance.has_solution_bounded(4) is None
+
+    def test_named_instances_statuses_are_consistent(self):
+        for name, (instance, solvable) in named_instances().items():
+            found = instance.has_solution_bounded(4)
+            if solvable:
+                assert found is not None, name
+            else:
+                assert found is None, name
+
+    def test_named_instances_produce_full_tgd_reductions(self):
+        for name, (instance, _) in named_instances().items():
+            tgds = pcp_tgds(instance.doubled())
+            assert is_full_set(tgds), name
+
+    def test_solution_path_query_is_acyclic(self):
+        instance = trivially_solvable()
+        solution = instance.has_solution_bounded(1)
+        query = solution_path_query(instance, solution)
+        assert query.is_acyclic()
+        assert query.is_connected()
+
+
+class TestScalableFamilies:
+    def test_scaled_solvable_words_grow(self):
+        for length in (1, 3, 6):
+            instance = scaled_solvable(length)
+            assert len(instance.top[0]) == length
+            assert instance.has_solution_bounded(1) == (0,)
+
+    def test_scaled_solvable_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            scaled_solvable(0)
+
+    def test_scaled_unsolvable_pair_count(self):
+        instance = scaled_unsolvable(4)
+        assert instance.size == 4
+        assert instance.has_solution_bounded(3) is None
+
+    def test_scaled_unsolvable_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            scaled_unsolvable(0)
+
+    def test_scaled_families_grow_the_reduction(self):
+        small = pcp_tgds(scaled_solvable(2).doubled())
+        large = pcp_tgds(scaled_solvable(5).doubled())
+        small_atoms = sum(len(t.body) + len(t.head) for t in small)
+        large_atoms = sum(len(t.body) + len(t.head) for t in large)
+        assert large_atoms > small_atoms
+
+
+class TestRandomAndClassification:
+    def test_random_instances_are_reproducible(self):
+        assert random_instance(seed=5) == random_instance(seed=5)
+        assert random_instance(seed=5) != random_instance(seed=6) or True
+
+    def test_random_instance_respects_shape_parameters(self):
+        instance = random_instance(seed=1, pairs=5, max_word_length=2)
+        assert instance.size == 5
+        assert all(1 <= len(w) <= 2 for w in instance.top + instance.bottom)
+
+    def test_classification_finds_solutions(self):
+        solution, unsolvable = classify_bounded(short_solvable())
+        assert solution == (0, 1)
+        assert not unsolvable
+
+    def test_classification_certifies_obvious_unsolvability(self):
+        for instance in (
+            unsolvable_length_mismatch(),
+            unsolvable_letter_mismatch(),
+            unsolvable_parity(),
+        ):
+            solution, unsolvable = classify_bounded(instance)
+            assert solution is None
+            assert unsolvable
+
+    def test_classification_can_be_inconclusive(self):
+        # An instance with no short solution and no cheap certificate: the
+        # status is genuinely unknown, which is the whole point of Theorem 7.
+        instance = PCPInstance(top=("ab", "ba"), bottom=("ba", "b"))
+        solution, unsolvable = classify_bounded(instance, max_indices=2)
+        if solution is None:
+            assert not unsolvable
+
+    def test_invalid_instances_are_rejected(self):
+        with pytest.raises(ValueError):
+            PCPInstance(top=("a",), bottom=("a", "b"))
+        with pytest.raises(ValueError):
+            PCPInstance(top=("ac",), bottom=("a",))
+        with pytest.raises(ValueError):
+            PCPInstance(top=("",), bottom=("a",))

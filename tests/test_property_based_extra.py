@@ -1,0 +1,222 @@
+"""Additional property-based tests: decompositions, join plans, containment, reductions.
+
+These complement ``tests/test_property_based.py`` with invariants over the
+modules added on top of the original stack (tree/hypertree decompositions,
+join-order planning, the incremental containment check, the connecting
+operator and the PCP instance families).
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.containment import ContainmentOutcome, contained_under_tgds
+from repro.core.pcp import PCPInstance
+from repro.datamodel import Atom, Constant, Instance, Predicate, Variable
+from repro.dependencies import is_body_connected_set, is_guarded_set, is_non_recursive_set
+from repro.dependencies.connecting import connect, connect_tgd
+from repro.evaluation import evaluate_generic, evaluate_with_plan, execute_plan, plan_greedy
+from repro.hypergraph import (
+    hypertree_decomposition_of_atoms,
+    tree_decomposition_min_degree,
+    tree_decomposition_min_fill,
+    treewidth_exact,
+    treewidth_upper_bound,
+)
+from repro.queries import ConjunctiveQuery, gaifman_graph_of_atoms
+from repro.workloads.generators import (
+    random_acyclic_query,
+    random_database,
+    random_guarded_tgds,
+    random_non_recursive_tgds,
+    random_schema,
+)
+from repro.workloads.pcp_instances import classify_bounded, random_instance
+
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+PREDICATES = [Predicate("P", 1), Predicate("E", 2), Predicate("T", 3)]
+VARIABLES = [Variable(name) for name in "uvwxyz"]
+CONSTANTS = [Constant(value) for value in "abcde"]
+
+
+@st.composite
+def query_atoms(draw, max_atoms=6):
+    body = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_atoms))):
+        predicate = draw(st.sampled_from(PREDICATES))
+        terms = tuple(
+            draw(st.sampled_from(VARIABLES)) for _ in range(predicate.arity)
+        )
+        body.append(Atom(predicate, terms))
+    return body
+
+
+@st.composite
+def small_graphs(draw, max_vertices=8):
+    size = draw(st.integers(min_value=1, max_value=max_vertices))
+    graph = {i: set() for i in range(size)}
+    for i in range(size):
+        for j in range(i + 1, size):
+            if draw(st.booleans()):
+                graph[i].add(j)
+                graph[j].add(i)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Decompositions
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(small_graphs())
+def test_heuristic_decompositions_are_valid(graph):
+    for decomposition in (
+        tree_decomposition_min_fill(graph),
+        tree_decomposition_min_degree(graph),
+    ):
+        assert decomposition.is_valid_for(graph)
+
+
+@SETTINGS
+@given(small_graphs())
+def test_exact_treewidth_never_exceeds_heuristics(graph):
+    assert treewidth_exact(graph, max_vertices=8) <= treewidth_upper_bound(graph)
+
+
+@SETTINGS
+@given(query_atoms())
+def test_hypertree_decompositions_are_valid_and_acyclicity_gives_width_one(body):
+    decomposition = hypertree_decomposition_of_atoms(body)
+    assert decomposition.is_valid_for(body)
+    query = ConjunctiveQuery((), body)
+    if query.is_acyclic():
+        assert decomposition.width == 1
+    else:
+        assert decomposition.width >= 2
+
+
+@SETTINGS
+@given(query_atoms())
+def test_treewidth_of_query_bounded_by_variable_count(body):
+    graph = gaifman_graph_of_atoms(body)
+    if not graph:
+        return
+    width = treewidth_upper_bound(graph)
+    assert 0 <= width <= max(len(graph) - 1, 0)
+
+
+# ----------------------------------------------------------------------
+# Join plans
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_join_plans_agree_with_generic_evaluation(seed):
+    schema = random_schema(seed=seed % 13, predicate_count=3, max_arity=3)
+    query = random_acyclic_query(
+        seed=seed, schema=schema, atom_count=4, free_variables=1
+    )
+    database = random_database(
+        seed=seed + 1, schema=schema, facts_per_predicate=12, domain_size=7
+    )
+    assert evaluate_with_plan(query, database) == evaluate_generic(query, database)
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_plan_intermediate_sizes_are_recorded_per_step(seed):
+    schema = random_schema(seed=seed % 7, predicate_count=3, max_arity=2)
+    query = random_acyclic_query(seed=seed, schema=schema, atom_count=3)
+    database = random_database(
+        seed=seed + 2, schema=schema, facts_per_predicate=8, domain_size=5
+    )
+    plan = plan_greedy(query, database)
+    execution = execute_plan(plan, database)
+    assert len(execution.intermediate_sizes) <= len(plan)
+    if execution.intermediate_sizes and min(execution.intermediate_sizes) > 0:
+        assert len(execution.intermediate_sizes) == len(plan)
+
+
+# ----------------------------------------------------------------------
+# Containment under constraints
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_containment_under_tgds_is_reflexive(seed):
+    schema = random_schema(seed=seed % 11, predicate_count=4, max_arity=2)
+    query = random_acyclic_query(seed=seed, schema=schema, atom_count=3)
+    tgds = random_non_recursive_tgds(seed=seed, schema=schema, count=2)
+    assert contained_under_tgds(query, query, tgds) is ContainmentOutcome.TRUE
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_dropping_an_atom_weakens_the_query_under_constraints(seed):
+    schema = random_schema(seed=seed % 11, predicate_count=4, max_arity=2)
+    query = random_acyclic_query(seed=seed, schema=schema, atom_count=4)
+    if len(query.body) < 2:
+        return
+    weaker = query.subquery(query.body[:-1])
+    if set(query.head) - weaker.variables():
+        return
+    tgds = random_non_recursive_tgds(seed=seed + 1, schema=schema, count=2)
+    assert bool(contained_under_tgds(query, weaker, tgds))
+
+
+# ----------------------------------------------------------------------
+# Connecting operator
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_connecting_operator_guarantees_proposition5_hypotheses(seed):
+    schema = random_schema(seed=seed % 9, predicate_count=3, max_arity=2)
+    left = random_acyclic_query(seed=seed, schema=schema, atom_count=3)
+    right = random_acyclic_query(seed=seed + 1, schema=schema, atom_count=2)
+    tgds = random_guarded_tgds(seed=seed, schema=schema, count=2)
+    connected = connect(left, right, tgds)
+    assert connected.left_query.is_acyclic()
+    assert connected.left_query.is_connected()
+    assert connected.right_query.is_connected()
+    assert not connected.right_query.is_acyclic()
+    assert is_body_connected_set(list(connected.tgds))
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_connecting_preserves_guardedness_and_non_recursiveness(seed):
+    schema = random_schema(seed=seed % 9, predicate_count=3, max_arity=2)
+    guarded = random_guarded_tgds(seed=seed, schema=schema, count=3)
+    assert is_guarded_set([connect_tgd(t) for t in guarded]) == is_guarded_set(guarded)
+    non_recursive = random_non_recursive_tgds(seed=seed, schema=schema, count=3)
+    assert is_non_recursive_set([connect_tgd(t) for t in non_recursive])
+
+
+# ----------------------------------------------------------------------
+# PCP instances
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_bounded_pcp_solutions_are_real_solutions(seed):
+    instance = random_instance(seed=seed, pairs=3, max_word_length=2)
+    solution, certified_unsolvable = classify_bounded(instance, max_indices=3)
+    if solution is not None:
+        assert instance.solution_word(solution) is not None
+        assert not certified_unsolvable
+    if certified_unsolvable:
+        assert solution is None
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pcp_doubling_preserves_solvability_status(seed):
+    instance = random_instance(seed=seed, pairs=2, max_word_length=2)
+    doubled = instance.doubled()
+    original = instance.has_solution_bounded(3)
+    doubled_solution = doubled.has_solution_bounded(3)
+    if original is not None:
+        assert doubled.solution_word(original) is not None
+    if doubled_solution is not None:
+        assert instance.solution_word(doubled_solution) is not None

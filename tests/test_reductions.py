@@ -1,0 +1,164 @@
+"""Tests for the containment ↔ semantic-acyclicity reductions (Section 3.2)."""
+
+import pytest
+
+from repro.containment import ContainmentOutcome
+from repro.core import (
+    containment_via_proposition5,
+    decide_containment_via_semac,
+    direct_containment,
+    proposition5_instance,
+    reduce_containment_to_semac,
+)
+from repro.dependencies import is_body_connected_set, is_guarded_set, is_non_recursive_set
+from repro.parser import parse_query, parse_tgd
+
+
+def contained_case():
+    """q ⊆_Σ q' holds: Σ derives S-edges from E-edges."""
+    q = parse_query("E(x, y), E(y, z)", name="q")
+    q_prime = parse_query("S(u, v)", name="qp")
+    tgds = [parse_tgd("E(x, y) -> S(x, y)", label="copy")]
+    return q, q_prime, tgds
+
+
+def not_contained_case():
+    """q ⊆_Σ q' fails: Σ only relates S to T, never E to S."""
+    q = parse_query("E(x, y), E(y, z)", name="q")
+    q_prime = parse_query("S(u, v)", name="qp")
+    tgds = [parse_tgd("S(x, y) -> T(x, y)", label="unrelated")]
+    return q, q_prime, tgds
+
+
+class TestProposition5Instance:
+    def test_conjunction_combines_both_bodies(self):
+        q, q_prime, tgds = contained_case()
+        instance = proposition5_instance(q, q_prime, tgds)
+        assert len(instance.conjunction) == len(q) + len(q_prime)
+
+    def test_queries_are_renamed_apart(self):
+        q = parse_query("E(x, y)", name="q")
+        q_prime = parse_query("S(x, y)", name="qp")
+        instance = proposition5_instance(q, q_prime, [parse_tgd("E(x, y) -> S(x, y)")])
+        assert not (q.variables() & instance.other_query.variables())
+
+    def test_hypothesis_notes_flag_non_boolean_queries(self):
+        q = parse_query("q(x) :- E(x, y)", name="q")
+        q_prime = parse_query("S(u, v)", name="qp")
+        instance = proposition5_instance(q, q_prime, [parse_tgd("E(x, y) -> S(x, y)")])
+        assert not instance.hypotheses_hold
+        assert any("Boolean" in note for note in instance.hypothesis_notes)
+
+    def test_hypothesis_notes_flag_cyclic_left_query(self, triangle_query):
+        q_prime = parse_query("S(u, v)", name="qp")
+        instance = proposition5_instance(
+            triangle_query, q_prime, [parse_tgd("E(x, y) -> S(x, y)")]
+        )
+        assert any("not acyclic" in note for note in instance.hypothesis_notes)
+
+    def test_hypothesis_notes_flag_disconnected_tgds(self):
+        q, q_prime, _ = contained_case()
+        disconnected = parse_tgd("E(x, y), E(u, v) -> S(x, u)", label="disc")
+        instance = proposition5_instance(q, q_prime, [disconnected])
+        assert any("body-connected" in note for note in instance.hypothesis_notes)
+
+    def test_clean_instances_report_no_notes(self):
+        q, q_prime, tgds = contained_case()
+        instance = proposition5_instance(q, q_prime, tgds)
+        assert instance.hypotheses_hold
+
+
+class TestConnectingPipeline:
+    def test_reduction_outputs_connected_boolean_queries(self):
+        q, q_prime, tgds = contained_case()
+        reduction = reduce_containment_to_semac(q, q_prime, tgds)
+        assert reduction.connected.left_query.is_connected()
+        assert reduction.connected.left_query.is_acyclic()
+        assert reduction.connected.right_query.is_connected()
+        assert not reduction.connected.right_query.is_acyclic()
+        assert is_body_connected_set(list(reduction.tgds))
+
+    def test_reduction_preserves_non_recursiveness(self):
+        q, q_prime, tgds = contained_case()
+        assert is_non_recursive_set(tgds)
+        reduction = reduce_containment_to_semac(q, q_prime, tgds)
+        assert is_non_recursive_set(list(reduction.tgds))
+
+    def test_reduction_rejects_non_boolean_queries(self):
+        q = parse_query("q(x) :- E(x, y)")
+        q_prime = parse_query("S(u, v)")
+        with pytest.raises(ValueError):
+            reduce_containment_to_semac(q, q_prime, [parse_tgd("E(x, y) -> S(x, y)")])
+
+    def test_reduction_rejects_cyclic_left_query(self, triangle_query):
+        q_prime = parse_query("S(u, v)")
+        with pytest.raises(ValueError):
+            reduce_containment_to_semac(
+                triangle_query, q_prime, [parse_tgd("E(x, y) -> S(x, y)")]
+            )
+
+    def test_proposition5_hypotheses_hold_after_connecting(self):
+        q, q_prime, tgds = contained_case()
+        reduction = reduce_containment_to_semac(q, q_prime, tgds)
+        assert reduction.proposition5.hypotheses_hold
+
+
+class TestReductionCorrectness:
+    def test_contained_case_agrees_with_direct_containment(self):
+        q, q_prime, tgds = contained_case()
+        assert direct_containment(q, q_prime, tgds) is ContainmentOutcome.TRUE
+        verdict, decision, _ = decide_containment_via_semac(q, q_prime, tgds)
+        assert verdict is True
+        assert decision.witness is not None
+        assert decision.witness.is_acyclic()
+
+    def test_not_contained_case_agrees_with_direct_containment(self):
+        q, q_prime, tgds = not_contained_case()
+        assert direct_containment(q, q_prime, tgds) is ContainmentOutcome.FALSE
+        verdict, _, _ = decide_containment_via_semac(q, q_prime, tgds)
+        assert verdict is False
+
+    def test_proposition5_direct_use_on_a_containment_that_holds(self):
+        # Without connecting: q' must not be semantically acyclic under Σ for
+        # the "iff" to hold; here q' is the triangle, which stays cyclic under
+        # the (unrelated, body-connected) tgd set.
+        q = parse_query("E(x, y), E(y, z)", name="q")
+        q_prime = parse_query("E(u, v), E(v, w), E(w, u)", name="triangle")
+        tgds = [parse_tgd("E(x, y) -> P(x)", label="proj")]
+        # Containment fails (a path does not map onto a triangle pattern...
+        # actually the triangle maps INTO any query with a homomorphism to it;
+        # here q ⊄ q' because q' needs a directed 3-cycle).
+        assert direct_containment(q, q_prime, tgds) is ContainmentOutcome.FALSE
+        verdict, _, instance = containment_via_proposition5(q, q_prime, tgds)
+        assert instance.hypotheses_hold
+        assert verdict is False
+
+    def test_several_random_non_recursive_instances_cross_validate(self):
+        cases = [
+            (
+                parse_query("A(x, y), B(y, z)", name="q1"),
+                parse_query("C(u, v)", name="p1"),
+                [parse_tgd("A(x, y), B(y, z) -> C(x, z)", label="join")],
+                True,
+            ),
+            (
+                parse_query("A(x, y), B(y, z)", name="q2"),
+                parse_query("C(u, u)", name="p2"),
+                [parse_tgd("A(x, y), B(y, z) -> C(x, z)", label="join")],
+                False,
+            ),
+            (
+                parse_query("A(x, y)", name="q3"),
+                parse_query("B(u, v), C(v, w)", name="p3"),
+                [
+                    parse_tgd("A(x, y) -> B(x, y)", label="ab"),
+                    parse_tgd("B(x, y) -> C(y, z)", label="bc"),
+                ],
+                True,
+            ),
+        ]
+        for q, q_prime, tgds, expected in cases:
+            direct = direct_containment(q, q_prime, tgds)
+            assert (direct is ContainmentOutcome.TRUE) == expected
+            verdict, _, _ = decide_containment_via_semac(q, q_prime, tgds)
+            assert verdict == expected

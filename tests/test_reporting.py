@@ -1,0 +1,132 @@
+"""Tests for the benchmark reporting helpers (repro.reporting)."""
+
+import pytest
+
+from repro.reporting import (
+    ExperimentRecord,
+    Series,
+    Table,
+    format_cell,
+    render_experiment_records,
+)
+
+
+class TestFormatCell:
+    def test_none_renders_as_dash(self):
+        assert format_cell(None) == "—"
+
+    def test_booleans_render_as_yes_no(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_floats_get_fixed_precision(self):
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(3.14159, float_digits=1) == "3.1"
+
+    def test_strings_and_ints_pass_through(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_positional_rows(self):
+        table = Table(["n", "time"])
+        table.add_row(10, 0.5)
+        assert len(table) == 1
+        assert table.rows == [["10", "0.500"]]
+
+    def test_named_rows(self):
+        table = Table(["n", "time"])
+        table.add_row(time=1.0, n=5)
+        assert table.rows == [["5", "1.000"]]
+
+    def test_rejects_mixed_rows(self):
+        table = Table(["n", "time"])
+        with pytest.raises(ValueError):
+            table.add_row(1, time=2.0)
+
+    def test_rejects_unknown_columns(self):
+        table = Table(["n"])
+        with pytest.raises(ValueError):
+            table.add_row(bogus=1)
+
+    def test_rejects_wrong_arity(self):
+        table = Table(["n", "time"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row("long-name-here", 1)
+        table.add_row("x", 12345)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert len({len(line) for line in lines[1:]}) <= 2  # header/sep/rows aligned
+
+    def test_markdown_rendering(self):
+        table = Table(["a", "b"])
+        table.add_row(1, 2)
+        markdown = table.to_markdown()
+        assert "| a | b |" in markdown
+        assert "| 1 | 2 |" in markdown
+
+    def test_str_matches_render(self):
+        table = Table(["a"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        series = Series("scaling")
+        series.add(1, 10)
+        series.add(2, 20)
+        assert series.xs() == [1, 2]
+        assert series.ys() == [10, 20]
+
+    def test_render_mentions_name_and_points(self):
+        series = Series("sizes", [(1, 2), (3, 4)])
+        rendered = series.render()
+        assert "sizes" in rendered
+        assert "1→2" in rendered
+
+    def test_monotonicity_check(self):
+        increasing = Series("up", [(1, 1), (2, 2), (3, 2)])
+        decreasing = Series("down", [(1, 3), (2, 1)])
+        assert increasing.is_monotone_nondecreasing()
+        assert not decreasing.is_monotone_nondecreasing()
+
+    def test_monotonicity_ignores_non_numeric_values(self):
+        mixed = Series("mixed", [(1, "n/a"), (2, 1), (3, 2)])
+        assert mixed.is_monotone_nondecreasing()
+
+
+class TestExperimentRecords:
+    def record(self, matches=True):
+        return ExperimentRecord(
+            experiment_id="E1",
+            paper_artifact="Example 1",
+            paper_claim="the query becomes acyclic under the tgd",
+            measured="witness found and verified",
+            matches=matches,
+            bench_target="benchmarks/bench_example1_reformulation.py",
+        )
+
+    def test_markdown_includes_all_fields(self):
+        markdown = self.record().to_markdown()
+        assert "E1" in markdown
+        assert "Example 1" in markdown
+        assert "reproduced" in markdown
+        assert "bench_example1_reformulation" in markdown
+
+    def test_markdown_flags_mismatches(self):
+        assert "NOT reproduced" in self.record(matches=False).to_markdown()
+
+    def test_render_multiple_records(self):
+        text = render_experiment_records([self.record(), self.record(False)])
+        assert text.count("### E1") == 2
