@@ -11,13 +11,13 @@ import pytest
 
 from repro.evaluation import YannakakisEvaluator, evaluate_generic
 from repro.workloads.generators import path_database, path_query, grid_database
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 PATH_QUERY = path_query(4, free_ends=True)
 
 
-@pytest.mark.parametrize("size", [100, 400, 1600])
+@pytest.mark.parametrize("size", scaled_sizes([100, 400, 1600], [30, 60]))
 @pytest.mark.parametrize("engine", ["yannakakis", "generic"])
 def test_path_query_on_path_databases(benchmark, size, engine):
     database = path_database(size)

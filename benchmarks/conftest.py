@@ -7,11 +7,32 @@ EXPERIMENTS.md).  Benchmarks both *measure* (via pytest-benchmark) and
     pytest benchmarks/ --benchmark-only -s
 
 reproduces the tables recorded in EXPERIMENTS.md.
+
+Smoke mode
+----------
+Setting ``BENCH_SMOKE=1`` in the environment switches every benchmark that
+sizes itself through :func:`scaled_sizes` (currently the Yannakakis
+benchmarks; thread it through the others as they are touched) to tiny
+inputs.  The tier-1 test suite uses this to import and execute the
+benchmark modules in milliseconds — so a broken benchmark fails fast in CI
+instead of at the next full benchmark run.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def smoke_mode() -> bool:
+    """Return ``True`` when the suite runs with ``BENCH_SMOKE=1``."""
+    return os.environ.get("BENCH_SMOKE", "").strip().lower() not in ("", "0", "false", "no")
+
+
+def scaled_sizes(full, smoke):
+    """Return ``smoke`` sizes under ``BENCH_SMOKE=1``, else the ``full`` sizes."""
+    return smoke if smoke_mode() else full
 
 
 def print_series(title: str, rows, header=None) -> None:

@@ -49,6 +49,7 @@ from .containment import (
 )
 from .rewriting import rewrite, ucq_rewritable_height_bound
 from .evaluation import (
+    Relation,
     YannakakisEvaluator,
     evaluate_acyclic,
     evaluate_generic,
@@ -90,6 +91,7 @@ __all__ = [
     "Instance",
     "Null",
     "Predicate",
+    "Relation",
     "Schema",
     "SemAcConfig",
     "SemAcDecision",

@@ -105,8 +105,21 @@ class Instance:
         return sorted(self._atoms, key=str)
 
     def copy(self) -> "Instance":
-        """Return a shallow copy of the instance."""
-        return Instance(self._atoms)
+        """Return a shallow copy of the instance.
+
+        The indexes are copied set-by-set instead of being re-derived atom by
+        atom — the chase snapshots its input with ``copy()`` on every run, so
+        this path is hot.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        clone._atoms = set(self._atoms)
+        clone._by_predicate = defaultdict(set)
+        for predicate, atoms in self._by_predicate.items():
+            clone._by_predicate[predicate] = set(atoms)
+        clone._by_term = defaultdict(set)
+        for term, atoms in self._by_term.items():
+            clone._by_term[term] = set(atoms)
+        return clone
 
     # ------------------------------------------------------------------
     # Indexed access

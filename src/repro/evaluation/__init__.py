@@ -1,11 +1,20 @@
-"""Evaluation engines: Yannakakis, generic join, cover game, SemAcEval."""
+"""Evaluation engines: Yannakakis, generic join, cover game, SemAcEval.
 
+All set-at-a-time engines (Yannakakis and the plan executor) run on the
+hash-partitioned :class:`~repro.evaluation.relation.Relation` layer; the
+original assignment-dict Yannakakis survives in
+:mod:`repro.evaluation.yannakakis_dict` as a benchmark baseline and
+differential-testing oracle.
+"""
+
+from .relation import Relation, SchemaError
 from .yannakakis import (
     AcyclicityRequired,
     YannakakisEvaluator,
     boolean_acyclic,
     evaluate_acyclic,
 )
+from .yannakakis_dict import DictYannakakisEvaluator
 from .generic import boolean_generic, evaluate_generic, membership_generic
 from .join_plans import (
     JoinPlan,
@@ -38,10 +47,13 @@ from .semacyclic_eval import (
 __all__ = [
     "AcyclicityRequired",
     "CoverGameResult",
+    "DictYannakakisEvaluator",
     "JoinPlan",
     "NotSemanticallyAcyclic",
     "PlanExecution",
     "PlanStep",
+    "Relation",
+    "SchemaError",
     "SemAcEvaluation",
     "YannakakisEvaluator",
     "boolean_acyclic",

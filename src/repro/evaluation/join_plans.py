@@ -7,7 +7,8 @@ a cost-based join order — so that the benchmarks can compare three points of
 the design space on the same workloads:
 
 1. naive backtracking in query order (``evaluate_generic``);
-2. backtracking over a greedily chosen join order (this module);
+2. hash joins over a greedily chosen join order (this module, executed on
+   the :class:`repro.evaluation.relation.Relation` engine);
 3. Yannakakis' semi-join algorithm for acyclic queries
    (:mod:`repro.evaluation.yannakakis`) — the method semantic acyclicity is
    trying to unlock.
@@ -20,13 +21,11 @@ the real win" story honest by comparing against a non-strawman baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from ..datamodel import Atom, Constant, Instance, Term, Variable
 from ..queries.cq import ConjunctiveQuery
-
-
-Assignment = Dict[Variable, Term]
+from .relation import Relation
 
 
 # ----------------------------------------------------------------------
@@ -172,71 +171,27 @@ def _plan_from_order(
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def _candidate_facts(atom: Atom, database: Instance, binding: Assignment):
-    """Facts that could match ``atom`` given the current binding.
-
-    When some atom variable is already bound (or the atom has a constant),
-    the per-term index of the instance narrows the scan; otherwise the whole
-    relation is scanned.
-    """
-    candidates = None
-    for term in atom.terms:
-        value: Optional[Term] = None
-        if isinstance(term, Constant):
-            value = term
-        elif isinstance(term, Variable) and term in binding:
-            value = binding[term]
-        if value is None:
-            continue
-        with_term = database.atoms_with_term(value)
-        candidates = with_term if candidates is None else (candidates & with_term)
-        if not candidates:
-            return frozenset()
-    relation = database.atoms_with_predicate(atom.predicate)
-    return relation if candidates is None else (candidates & relation)
-
-
-def _extend(atom: Atom, fact: Atom, binding: Assignment) -> Optional[Assignment]:
-    """Extend ``binding`` so that ``atom`` maps onto ``fact``, or return ``None``."""
-    extended = dict(binding)
-    for query_term, data_term in zip(atom.terms, fact.terms):
-        if isinstance(query_term, Constant):
-            if query_term != data_term:
-                return None
-        else:
-            bound = extended.get(query_term)
-            if bound is None:
-                extended[query_term] = data_term
-            elif bound != data_term:
-                return None
-    return extended
-
-
 def execute_plan(plan: JoinPlan, database: Instance) -> PlanExecution:
-    """Execute a join plan with index-assisted nested loops.
+    """Execute a join plan as a chain of hash joins over :class:`Relation`.
 
-    The execution materialises the intermediate binding sets step by step
+    Each step materialises the atom's relation (one linear scan, constants
+    and repeated variables applied as selections) and hash-joins it into the
+    accumulated intermediate relation, so a step costs time linear in its
+    inputs plus its output.  The intermediates are materialised step by step
     (pipelining would hide the intermediate sizes the ablation benchmark
     wants to report).
     """
-    bindings: List[Assignment] = [{}]
+    relation = Relation.unit()
     intermediate_sizes: List[int] = []
     for step in plan.steps:
-        next_bindings: List[Assignment] = []
-        for binding in bindings:
-            for fact in _candidate_facts(step.atom, database, binding):
-                extended = _extend(step.atom, fact, binding)
-                if extended is not None:
-                    next_bindings.append(extended)
-        bindings = next_bindings
-        intermediate_sizes.append(len(bindings))
-        if not bindings:
+        relation = relation.join(Relation.from_atom(step.atom, database))
+        intermediate_sizes.append(len(relation))
+        if relation.is_empty():
             break
 
     answers: Set[Tuple[Term, ...]] = set()
-    if bindings and (plan.steps or not plan.query.body):
-        for binding in bindings:
-            answers.add(tuple(binding[variable] for variable in plan.query.head))
+    if relation and (plan.steps or not plan.query.body):
+        answers = relation.answer_tuples(plan.query.head)
     return PlanExecution(answers=answers, intermediate_sizes=intermediate_sizes)
 
 

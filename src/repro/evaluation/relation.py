@@ -1,0 +1,287 @@
+"""A tuple-based relation engine with hash-partitioned join operators.
+
+The evaluators in this package used to manipulate per-row assignment dicts
+(``Dict[Variable, Term]``) and decide semi-joins with nested ``any(...)``
+scans, which made every semi-join pass of Yannakakis' algorithm quadratic in
+the database size — the exact opposite of the linear-time guarantee the
+algorithm exists to provide (Yannakakis [27]; complexity revisited by
+Durand–Grandjean).  This module supplies the missing abstraction:
+
+* a :class:`Relation` is an ordered variable schema plus a list of term
+  tuples (one position per schema variable);
+* :meth:`Relation.semijoin`, :meth:`Relation.join`, :meth:`Relation.project`
+  and :meth:`Relation.select` are all implemented by single-pass hash
+  partitioning on the tuple of shared-variable values, so each operator runs
+  in time linear in the sizes of its operands (plus output, for joins).
+
+Rows are kept *set-free on purpose*: the operators preserve the invariant
+that rows are pairwise distinct (scanning a base atom produces distinct
+rows, and every operator maps distinct inputs to distinct outputs), so a
+list keeps iteration cheap and deterministic.  ``project`` is the one
+operator that can merge rows and therefore deduplicates explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..datamodel import Atom, Constant, Instance, Term, Variable
+
+
+#: One row of a relation: ground terms, positionally aligned with the schema.
+Row = Tuple[Term, ...]
+
+
+class SchemaError(ValueError):
+    """Raised when an operator is applied to incompatible schemas."""
+
+
+class Relation:
+    """An ordered variable schema together with a list of term tuples.
+
+    The schema is a tuple of *distinct* variables; every row has exactly one
+    term per schema position.  All binary operators align the operands by
+    variable name, never by position, so relations with differently ordered
+    schemas compose freely.
+    """
+
+    __slots__ = ("schema", "rows", "_positions")
+
+    def __init__(self, schema: Sequence[Variable], rows: Iterable[Row] = ()) -> None:
+        self.schema: Tuple[Variable, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise SchemaError(f"duplicate variable in schema {self.schema}")
+        self.rows: List[Row] = list(rows)
+        self._positions: Dict[Variable, int] = {
+            variable: index for index, variable in enumerate(self.schema)
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The nullary relation with one empty row (join identity)."""
+        return cls((), [()])
+
+    @classmethod
+    def empty(cls, schema: Sequence[Variable] = ()) -> "Relation":
+        """The relation over ``schema`` with no rows."""
+        return cls(schema, [])
+
+    @classmethod
+    def from_atom(cls, atom: Atom, database: Instance) -> "Relation":
+        """Materialise the matches of one query atom in a single pass.
+
+        The schema lists the atom's variables in order of first occurrence;
+        constants and repeated variables act as selections and are checked
+        per fact, so the scan stays linear in the size of the atom's
+        relation.
+        """
+        schema: List[Variable] = []
+        # (position in fact, output position) for the first occurrence of
+        # each variable; (position, expected) checks for constants and for
+        # repeated occurrences.
+        copy_positions: List[Tuple[int, int]] = []
+        constant_checks: List[Tuple[int, Constant]] = []
+        equality_checks: List[Tuple[int, int]] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                constant_checks.append((position, term))
+            elif term in schema:
+                equality_checks.append((position, schema.index(term)))
+            else:
+                copy_positions.append((position, len(schema)))
+                schema.append(term)  # type: ignore[arg-type]
+
+        rows: List[Row] = []
+        for fact in database.atoms_with_predicate(atom.predicate):
+            terms = fact.terms
+            if any(terms[position] != expected for position, expected in constant_checks):
+                continue
+            row = tuple(terms[position] for position, _ in copy_positions)
+            if any(terms[position] != row[output] for position, output in equality_checks):
+                continue
+            rows.append(row)
+        return cls(schema, rows)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def variables(self) -> Set[Variable]:
+        return set(self.schema)
+
+    def position(self, variable: Variable) -> int:
+        """Return the column index of ``variable``.
+
+        Raises:
+            SchemaError: if the variable is not part of the schema.
+        """
+        try:
+            return self._positions[variable]
+        except KeyError:
+            raise SchemaError(f"{variable} is not in schema {self.schema}") from None
+
+    def assignments(self) -> Iterator[Dict[Variable, Term]]:
+        """Yield the rows as variable→term dicts (compatibility helper)."""
+        for row in self.rows:
+            yield dict(zip(self.schema, row))
+
+    def __str__(self) -> str:
+        header = ", ".join(str(v) for v in self.schema)
+        return f"Relation[{header}]({len(self.rows)} rows)"
+
+    def __repr__(self) -> str:
+        return f"Relation(schema={self.schema!r}, rows={len(self.rows)})"
+
+    def __eq__(self, other: object) -> bool:
+        """Schema-aware set equality (row order and column order ignored)."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self.schema) != set(other.schema):
+            return False
+        reordered = other.project(self.schema)
+        return set(self.rows) == set(reordered.rows)
+
+    __hash__ = None  # type: ignore[assignment]  # mutable rows
+
+    # ------------------------------------------------------------------
+    # Hash-partitioned operators
+    # ------------------------------------------------------------------
+    def _key_function(self, variables: Sequence[Variable]) -> Callable[[Row], Row]:
+        positions = tuple(self.position(variable) for variable in variables)
+        return lambda row: tuple(row[p] for p in positions)
+
+    def shared_variables(self, other: "Relation") -> Tuple[Variable, ...]:
+        """The join variables, in this relation's schema order."""
+        return tuple(v for v in self.schema if v in other._positions)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Keep the rows with a matching row in ``other`` — ``self ⋉ other``.
+
+        One hash pass over ``other`` builds the set of shared-variable keys;
+        one pass over ``self`` filters.  Total time ``O(|self| + |other|)``.
+        """
+        shared = self.shared_variables(other)
+        if not shared:
+            # Degenerate semi-join: cross-product semantics.
+            return self if other.rows else Relation(self.schema, [])
+        key_of = self._key_function(shared)
+        other_key_of = other._key_function(shared)
+        keys = {other_key_of(row) for row in other.rows}
+        return Relation(self.schema, [row for row in self.rows if key_of(row) in keys])
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural hash join — ``self ⋈ other``.
+
+        ``other`` is hash-partitioned by its shared-variable key; each row of
+        ``self`` probes its bucket.  Time is linear in the operand sizes plus
+        the output size (the cross product when no variable is shared).
+        """
+        shared = self.shared_variables(other)
+        residual_positions = tuple(
+            index for index, variable in enumerate(other.schema) if variable not in self._positions
+        )
+        schema = self.schema + tuple(other.schema[index] for index in residual_positions)
+
+        other_key_of = other._key_function(shared)
+        buckets: Dict[Row, List[Row]] = {}
+        for row in other.rows:
+            buckets.setdefault(other_key_of(row), []).append(
+                tuple(row[index] for index in residual_positions)
+            )
+
+        key_of = self._key_function(shared)
+        rows: List[Row] = []
+        for row in self.rows:
+            for residual in buckets.get(key_of(row), ()):
+                rows.append(row + residual)
+        return Relation(schema, rows)
+
+    def project(self, variables: Sequence[Variable]) -> "Relation":
+        """Project onto ``variables`` (deduplicating, order preserved).
+
+        ``variables`` must be distinct and part of the schema.
+        """
+        positions = tuple(self.position(variable) for variable in variables)
+        seen: Set[Row] = set()
+        rows: List[Row] = []
+        for row in self.rows:
+            projected = tuple(row[p] for p in positions)
+            if projected not in seen:
+                seen.add(projected)
+                rows.append(projected)
+        return Relation(tuple(variables), rows)
+
+    def select(self, binding: Mapping[Variable, Term]) -> "Relation":
+        """Keep the rows agreeing with ``binding`` on its variables.
+
+        Variables of ``binding`` outside the schema are ignored (they cannot
+        disagree), matching the semantics of seeding a partial assignment.
+        """
+        checks = tuple(
+            (self._positions[variable], term)
+            for variable, term in binding.items()
+            if variable in self._positions
+        )
+        if not checks:
+            return self
+        return Relation(
+            self.schema,
+            [
+                row
+                for row in self.rows
+                if all(row[position] == term for position, term in checks)
+            ],
+        )
+
+    def select_equal(self, left: Variable, right: Variable) -> "Relation":
+        """Keep the rows where the two columns carry the same term."""
+        left_position = self.position(left)
+        right_position = self.position(right)
+        return Relation(
+            self.schema,
+            [row for row in self.rows if row[left_position] == row[right_position]],
+        )
+
+    def rename(self, mapping: Mapping[Variable, Variable]) -> "Relation":
+        """Return the relation with schema variables renamed via ``mapping``."""
+        return Relation(
+            tuple(mapping.get(variable, variable) for variable in self.schema),
+            self.rows,
+        )
+
+    def distinct(self) -> "Relation":
+        """Return the relation with duplicate rows removed (order preserved)."""
+        return self.project(self.schema)
+
+    # ------------------------------------------------------------------
+    # Answers
+    # ------------------------------------------------------------------
+    def answer_tuples(self, head: Sequence[Variable]) -> Set[Tuple[Term, ...]]:
+        """The answer set over ``head`` (repeated head variables allowed)."""
+        positions = tuple(self.position(variable) for variable in head)
+        return {tuple(row[p] for p in positions) for row in self.rows}

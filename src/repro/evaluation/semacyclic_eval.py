@@ -28,6 +28,7 @@ from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
 from .cover_game import instance_covers_database, query_covers_database
 from .generic import membership_generic
+from .relation import Relation
 from .yannakakis import YannakakisEvaluator
 
 
@@ -52,6 +53,16 @@ class SemAcEvaluation:
     def evaluate(self, database: Instance) -> Set[Tuple[Term, ...]]:
         """Return ``q(D)`` (equal to ``q'(D)`` on every ``D ⊨ Σ``)."""
         return self._evaluator.evaluate(database)
+
+    def answer_relation(self, database: Instance) -> Relation:
+        """Return ``q(D)`` as a :class:`Relation` over the free variables.
+
+        The relation comes straight from the Yannakakis phase-4 join on the
+        reformulation, so callers that post-process answers (batching,
+        further joins) can stay inside the hash-relation engine instead of
+        round-tripping through Python sets of tuples.
+        """
+        return self._evaluator.answer_relation(database)
 
     def boolean(self, database: Instance) -> bool:
         return self._evaluator.boolean(database)

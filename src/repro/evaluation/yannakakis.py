@@ -1,73 +1,49 @@
 """Yannakakis' algorithm for evaluating acyclic CQs [27].
 
 Acyclic CQs can be evaluated in time ``O(|q| · |D|)`` (plus output size).
-The implementation follows the textbook three-phase scheme over a join tree
+The implementation follows the textbook four-phase scheme over a join tree
 of the query:
 
-1. materialise, for every join-tree node, the assignments of its atom over
-   the database;
-2. bottom-up semi-join pass: keep a node assignment only if every child has a
-   compatible assignment;
-3. top-down semi-join pass: keep a node assignment only if its parent has a
-   compatible assignment;
-4. answers are then enumerated by a final top-down join that only carries the
-   free variables plus the connecting variables of each subtree.
+1. materialise, for every join-tree node, the :class:`Relation` of its atom
+   over the database (one linear scan per atom);
+2. bottom-up semi-join pass: reduce every node by each of its children;
+3. top-down semi-join pass: reduce every node by its parent;
+4. answers are then enumerated by a final bottom-up join that only carries
+   the free variables plus the connecting variables of each subtree.
 
 Boolean evaluation stops after phase 2 (non-empty root ⇒ true).
+
+Every pass runs on the hash-partitioned operators of
+:mod:`repro.evaluation.relation`, so phases 1–3 are genuinely linear in the
+database size and phase 4 is linear in input plus output.  (An earlier
+implementation kept rows as ``Dict[Variable, Term]`` and compared them with
+nested scans, which made the passes quadratic; it survives as
+:class:`repro.evaluation.yannakakis_dict.DictYannakakisEvaluator` for
+benchmarking and differential testing.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..datamodel import Atom, Constant, Instance, Term, Variable
+from ..datamodel import Instance, Term, Variable
 from ..hypergraph import JoinTree, JoinTreeError, build_join_tree, query_connectors
 from ..queries.cq import ConjunctiveQuery
-
-
-Assignment = Dict[Variable, Term]
+from .relation import Relation
 
 
 class AcyclicityRequired(ValueError):
     """Raised when Yannakakis' algorithm is applied to a cyclic query."""
 
 
-def _atom_assignments(atom: Atom, database: Instance) -> List[Assignment]:
-    """All ways of matching a single query atom against the database."""
-    assignments: List[Assignment] = []
-    for fact in database.atoms_with_predicate(atom.predicate):
-        mapping: Assignment = {}
-        compatible = True
-        for query_term, data_term in zip(atom.terms, fact.terms):
-            if isinstance(query_term, Constant):
-                if query_term != data_term:
-                    compatible = False
-                    break
-            else:
-                bound = mapping.get(query_term)  # type: ignore[arg-type]
-                if bound is None:
-                    mapping[query_term] = data_term  # type: ignore[index]
-                elif bound != data_term:
-                    compatible = False
-                    break
-        if compatible:
-            assignments.append(mapping)
-    return assignments
-
-
-def _compatible(left: Assignment, right: Assignment, shared: Iterable[Variable]) -> bool:
-    return all(left[variable] == right[variable] for variable in shared)
-
-
-@dataclass
-class _NodeRelation:
-    variables: FrozenSet[Variable]
-    assignments: List[Assignment]
-
-
 class YannakakisEvaluator:
-    """Evaluator bound to one acyclic CQ; reusable across databases."""
+    """Evaluator bound to one acyclic CQ; reusable across databases.
+
+    Everything that depends only on the query — the join tree, the traversal
+    orders and the per-node carry schemas — is computed once in the
+    constructor; :meth:`evaluate` and :meth:`boolean` then only pay the
+    per-database cost.
+    """
 
     def __init__(self, query: ConjunctiveQuery) -> None:
         self.query = query
@@ -75,124 +51,111 @@ class YannakakisEvaluator:
             self.join_tree: JoinTree = build_join_tree(query.body, query_connectors)
         except JoinTreeError as error:
             raise AcyclicityRequired(str(error)) from error
-        self._node_variables: Dict[int, FrozenSet[Variable]] = {
-            node.identifier: frozenset(node.atom.variables())
-            for node in self.join_tree.nodes()
+
+        self._bottom_up: List[int] = self.join_tree.bottom_up_order()
+        self._top_down: List[int] = self.join_tree.top_down_order()
+        self._node_variables: Dict[int, Set[Variable]] = {
+            node.identifier: node.atom.variables() for node in self.join_tree.nodes()
         }
+        self._carry: Dict[int, Tuple[Variable, ...]] = self._carry_schemas()
+
+    def _carry_schemas(self) -> Dict[int, Tuple[Variable, ...]]:
+        """Per node, the variables its phase-4 partial result must expose.
+
+        A node forwards exactly the free variables seen anywhere in its
+        subtree plus the variables it shares with its parent; by the
+        join-tree connectedness property every variable shared between the
+        subtree and the rest of the query occurs in the node's own atom, so
+        this carry schema is both sufficient and minimal.  The schemas are
+        database-independent and ordered deterministically (by name).
+        """
+        free = set(self.query.head)
+        carry: Dict[int, Tuple[Variable, ...]] = {}
+        subtree_free: Dict[int, Set[Variable]] = {}
+        for identifier in self._bottom_up:
+            own = self._node_variables[identifier]
+            wanted = own & free
+            for child in self.join_tree.children(identifier):
+                wanted |= subtree_free[child]
+            subtree_free[identifier] = set(wanted)
+            parent = self.join_tree.parent(identifier)
+            if parent is not None:
+                wanted = wanted | (own & self._node_variables[parent])
+            carry[identifier] = tuple(sorted(wanted, key=lambda v: v.name))
+        return carry
 
     # ------------------------------------------------------------------
-    def _reduce(self, database: Instance) -> Optional[Dict[int, _NodeRelation]]:
-        """Phases 1–3; returns per-node reduced relations or ``None`` if empty."""
-        relations: Dict[int, _NodeRelation] = {}
+    def _reduce(
+        self, database: Instance, bottom_up_only: bool = False
+    ) -> Optional[Dict[int, Relation]]:
+        """Phases 1–3; returns the per-node reduced relations or ``None``.
+
+        With ``bottom_up_only`` the top-down pass is skipped: a non-empty
+        root after phase 2 already decides Boolean satisfaction.
+        """
+        relations: Dict[int, Relation] = {}
         for node in self.join_tree.nodes():
-            assignments = _atom_assignments(node.atom, database)
-            if not assignments:
+            relation = Relation.from_atom(node.atom, database)
+            if relation.is_empty():
                 return None
-            relations[node.identifier] = _NodeRelation(
-                self._node_variables[node.identifier], assignments
-            )
+            relations[node.identifier] = relation
 
         # Bottom-up semi-joins.
-        for identifier in self.join_tree.bottom_up_order():
+        for identifier in self._bottom_up:
             for child in self.join_tree.children(identifier):
-                shared = relations[identifier].variables & relations[child].variables
-                child_rows = relations[child].assignments
-                kept = [
-                    row
-                    for row in relations[identifier].assignments
-                    if any(_compatible(row, other, shared) for other in child_rows)
-                ]
-                relations[identifier].assignments = kept
-                if not kept:
+                reduced = relations[identifier].semijoin(relations[child])
+                if reduced.is_empty():
                     return None
+                relations[identifier] = reduced
+        if bottom_up_only:
+            return relations
 
         # Top-down semi-joins.
-        for identifier in self.join_tree.top_down_order():
+        for identifier in self._top_down:
             parent = self.join_tree.parent(identifier)
             if parent is None:
                 continue
-            shared = relations[identifier].variables & relations[parent].variables
-            parent_rows = relations[parent].assignments
-            kept = [
-                row
-                for row in relations[identifier].assignments
-                if any(_compatible(row, other, shared) for other in parent_rows)
-            ]
-            relations[identifier].assignments = kept
-            if not kept:
+            reduced = relations[identifier].semijoin(relations[parent])
+            if reduced.is_empty():
                 return None
+            relations[identifier] = reduced
         return relations
 
     # ------------------------------------------------------------------
     def boolean(self, database: Instance) -> bool:
         """Return ``True`` iff the (Boolean reading of the) query holds in ``database``."""
-        return self._reduce(database) is not None
+        return self._reduce(database, bottom_up_only=True) is not None
+
+    def answer_relation(self, database: Instance) -> Relation:
+        """Return ``q(D)`` as a :class:`Relation` over the distinct free variables.
+
+        This is the natural output of the algorithm; :meth:`evaluate` wraps
+        it into the set-of-tuples interface (re-introducing any repeated head
+        variables).
+        """
+        head_schema: List[Variable] = []
+        for variable in self.query.head:
+            if variable not in head_schema:
+                head_schema.append(variable)
+
+        relations = self._reduce(database)
+        if relations is None:
+            return Relation.empty(head_schema)
+
+        # Phase 4: bottom-up projection joins.  After the semi-join passes
+        # every row of every node participates in at least one answer, so
+        # each hash join is linear in its input plus its output.
+        partial: Dict[int, Relation] = {}
+        for identifier in self._bottom_up:
+            relation = relations[identifier]
+            for child in self.join_tree.children(identifier):
+                relation = relation.join(partial[child])
+            partial[identifier] = relation.project(self._carry[identifier])
+        return partial[self.join_tree.root].project(head_schema)
 
     def evaluate(self, database: Instance) -> Set[Tuple[Term, ...]]:
         """Return the full answer set ``q(D)``."""
-        relations = self._reduce(database)
-        if relations is None:
-            return set()
-        free_variables = set(self.query.head)
-
-        # For every node, the variables that must be carried upward: free
-        # variables of its subtree plus the variables shared with the parent.
-        carry: Dict[int, Set[Variable]] = {}
-        for identifier in self.join_tree.bottom_up_order():
-            wanted = (self._node_variables[identifier] & free_variables) | set()
-            for child in self.join_tree.children(identifier):
-                wanted |= carry[child] & (
-                    free_variables
-                    | (self._node_variables[identifier] & self._node_variables[child])
-                )
-                wanted |= carry[child] & free_variables
-            parent = self.join_tree.parent(identifier)
-            if parent is not None:
-                wanted |= self._node_variables[identifier] & self._node_variables[parent]
-            carry[identifier] = wanted
-
-        # Bottom-up projection joins: each node produces partial tuples over
-        # carry[node], combining its own rows with its children's results.
-        partial: Dict[int, List[Assignment]] = {}
-        for identifier in self.join_tree.bottom_up_order():
-            rows = relations[identifier].assignments
-            results: List[Assignment] = []
-            children = self.join_tree.children(identifier)
-            for row in rows:
-                stack: List[Tuple[int, Assignment]] = [(0, dict(row))]
-                while stack:
-                    child_index, accumulated = stack.pop()
-                    if child_index == len(children):
-                        projected = {
-                            variable: accumulated[variable]
-                            for variable in carry[identifier]
-                            if variable in accumulated
-                        }
-                        results.append(projected)
-                        continue
-                    child = children[child_index]
-                    shared = self._node_variables[identifier] & self._node_variables[child]
-                    for child_row in partial[child]:
-                        if all(
-                            accumulated.get(variable, child_row.get(variable))
-                            == child_row.get(variable, accumulated.get(variable))
-                            for variable in set(accumulated) & set(child_row)
-                        ):
-                            merged = dict(accumulated)
-                            merged.update(child_row)
-                            stack.append((child_index + 1, merged))
-            # Deduplicate projected rows.
-            unique: Dict[Tuple, Assignment] = {}
-            for row in results:
-                key = tuple(sorted((v.name, str(t)) for v, t in row.items()))
-                unique[key] = row
-            partial[identifier] = list(unique.values())
-
-        answers: Set[Tuple[Term, ...]] = set()
-        for row in partial[self.join_tree.root]:
-            if all(variable in row for variable in free_variables):
-                answers.add(tuple(row[variable] for variable in self.query.head))
-        return answers
+        return self.answer_relation(database).answer_tuples(self.query.head)
 
 
 def evaluate_acyclic(query: ConjunctiveQuery, database: Instance) -> Set[Tuple[Term, ...]]:

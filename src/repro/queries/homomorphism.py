@@ -53,20 +53,37 @@ def _candidate_atoms(atom: Atom, target: Instance, assignment: Mapping[Term, Ter
     return candidates
 
 
-def _extend(atom: Atom, image: Atom, assignment: Homomorphism) -> Optional[Homomorphism]:
-    """Try to extend ``assignment`` so that ``atom`` maps onto ``image``."""
-    extension = dict(assignment)
+def _bind(atom: Atom, image: Atom, assignment: Homomorphism) -> Optional[List[Term]]:
+    """Extend ``assignment`` in place so that ``atom`` maps onto ``image``.
+
+    Returns the *undo trail* — the source terms newly bound by this call —
+    or ``None`` (with ``assignment`` left unchanged) when the atoms are
+    incompatible.  Mutating a single shared dict and unbinding on backtrack
+    avoids the per-candidate dict copy that used to dominate the search.
+    """
+    trail: List[Term] = []
     for source_term, target_term in zip(atom.terms, image.terms):
         if isinstance(source_term, Constant):
             if source_term != target_term:
-                return None
+                break
             continue
-        bound = extension.get(source_term)
+        bound = assignment.get(source_term)
         if bound is None:
-            extension[source_term] = target_term
+            assignment[source_term] = target_term
+            trail.append(source_term)
         elif bound != target_term:
-            return None
-    return extension
+            break
+    else:
+        return trail
+    for term in trail:
+        del assignment[term]
+    return None
+
+
+def _unbind(trail: List[Term], assignment: Homomorphism) -> None:
+    """Undo a successful :func:`_bind` (pop the trailed bindings)."""
+    for term in trail:
+        del assignment[term]
 
 
 def _order_atoms(atoms: Sequence[Atom], target: Instance) -> List[Atom]:
@@ -122,9 +139,14 @@ def homomorphisms(
             return
         atom = ordered[index]
         for image in _candidate_atoms(atom, target_instance, assignment):
-            extension = _extend(atom, image, assignment)
-            if extension is not None:
-                yield from search(index + 1, extension)
+            trail = _bind(atom, image, assignment)
+            if trail is not None:
+                try:
+                    yield from search(index + 1, assignment)
+                finally:
+                    # Unbind even when the consumer abandons the generator
+                    # mid-search, so the shared dict never leaks bindings.
+                    _unbind(trail, assignment)
 
     yield from search(0, initial)
 

@@ -503,6 +503,78 @@ def path_database(length: int, predicate: Optional[Predicate] = None) -> Databas
     return database
 
 
+def layered_chain_database(
+    layers: int,
+    width: int,
+    fanout: int = 2,
+    seed=0,
+    predicate_prefix: str = "S",
+) -> Database:
+    """A layered join workload: ``layers`` binary relations chained in series.
+
+    Relation ``S{i}`` connects layer ``i-1`` to layer ``i``; each layer has
+    ``width`` nodes and each relation ``width · fanout`` edges (a diagonal
+    "spine" guaranteeing answers, plus seeded random edges that the
+    semi-join passes must prune).  The total database size is
+    ``layers · width · fanout`` facts, so the workload scales linearly in
+    ``width`` while the answer count of the matching chain query stays
+    ``O(width)`` for fixed ``layers``/``fanout`` — exactly the regime where
+    a linear-time evaluator should scale linearly and a quadratic one
+    visibly cannot.
+    """
+    if layers < 1 or width < 1 or fanout < 1:
+        raise ValueError("layers, width and fanout must all be positive")
+    rng = _rng(seed)
+    database = Database()
+    for layer in range(1, layers + 1):
+        predicate = Predicate(f"{predicate_prefix}{layer}", 2)
+        sources = [Constant(f"L{layer - 1}_{i}") for i in range(width)]
+        targets = [Constant(f"L{layer}_{i}") for i in range(width)]
+        for i in range(width):
+            database.add(Atom(predicate, (sources[i], targets[i])))
+        for _ in range(width * (fanout - 1)):
+            database.add(Atom(predicate, (rng.choice(sources), rng.choice(targets))))
+    return database
+
+
+def layered_chain_query(
+    layers: int,
+    predicate_prefix: str = "S",
+    free_ends: bool = True,
+) -> ConjunctiveQuery:
+    """The chain query matching :func:`layered_chain_database` (acyclic)."""
+    if layers < 1:
+        raise ValueError("a chain needs at least 1 atom")
+    variables = [Variable(f"x{i}") for i in range(layers + 1)]
+    atoms = [
+        Atom(Predicate(f"{predicate_prefix}{i + 1}", 2), (variables[i], variables[i + 1]))
+        for i in range(layers)
+    ]
+    head = (variables[0], variables[-1]) if free_ends else ()
+    return ConjunctiveQuery(head, atoms, name=f"chain_{layers}")
+
+
+def yannakakis_scaling_workload(
+    size: int,
+    layers: int = 4,
+    fanout: int = 2,
+    seed=0,
+    free_ends: bool = True,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """A (query, database) pair with ``≈ size`` facts for scaling benchmarks.
+
+    ``size`` is the target total fact count; the layer width is derived so
+    that doubling ``size`` doubles every relation.  Used by
+    ``benchmarks/bench_yannakakis_scaling.py`` to demonstrate that the
+    hash-relation Yannakakis evaluator grows linearly in ``|D|`` where the
+    assignment-dict implementation grows quadratically.
+    """
+    width = max(1, size // (layers * fanout))
+    query = layered_chain_query(layers, free_ends=free_ends)
+    database = layered_chain_database(layers, width, fanout=fanout, seed=seed)
+    return query, database
+
+
 def grid_database(rows: int, columns: int, predicate: Optional[Predicate] = None) -> Database:
     """A ``rows × columns`` grid over one edge relation (both directions of adjacency)."""
     predicate = predicate or Predicate("E", 2)

@@ -1,0 +1,175 @@
+"""Differential tests: every evaluation engine must agree on q(D).
+
+Four independent implementations are compared on randomized acyclic CQs and
+databases:
+
+* the generic backtracking evaluator (``evaluate_generic`` — the oracle);
+* the hash-relation Yannakakis evaluator (``evaluate_acyclic``);
+* the preserved assignment-dict Yannakakis evaluator
+  (:class:`repro.evaluation.yannakakis_dict.DictYannakakisEvaluator`);
+* the plan executor (``evaluate_with_plan``) on the relation engine.
+
+The generated workloads deliberately include repeated head variables,
+constant-carrying atoms and labelled nulls in the data — the corners where
+the original dict implementation's string-keyed deduplication silently
+merged distinct answers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import Atom, Constant, Database, Instance, Null, Predicate, Variable
+from repro.evaluation import (
+    AcyclicityRequired,
+    DictYannakakisEvaluator,
+    YannakakisEvaluator,
+    evaluate_acyclic,
+    evaluate_generic,
+    evaluate_with_plan,
+)
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.generators import (
+    random_acyclic_query,
+    random_database,
+    random_schema,
+)
+
+
+def _randomized_workload(seed: int):
+    """An acyclic CQ (possibly with constants and a repeated-variable head)
+    plus a random database over the same schema."""
+    rng = random.Random(seed)
+    schema = random_schema(
+        seed=rng.random(), predicate_count=rng.randint(2, 4), max_arity=rng.randint(1, 3)
+    )
+    database = random_database(
+        seed=rng.random(),
+        schema=schema,
+        facts_per_predicate=rng.randint(5, 25),
+        domain_size=rng.randint(3, 10),
+    )
+    query = random_acyclic_query(
+        seed=rng.random(), schema=schema, atom_count=rng.randint(1, 6)
+    )
+
+    # Inject database constants into some atom positions (selections).
+    domain = sorted(database.constants(), key=str)
+    body = []
+    for atom in query.body:
+        terms = list(atom.terms)
+        for position in range(len(terms)):
+            if domain and rng.random() < 0.15:
+                terms[position] = rng.choice(domain)
+        body.append(Atom(atom.predicate, tuple(terms)))
+
+    # A head over the surviving variables, with repetition allowed.
+    variables = sorted({v for atom in body for v in atom.variables()}, key=str)
+    head = tuple(
+        rng.choice(variables) for _ in range(rng.randint(0, min(3, len(variables))))
+    ) if variables else ()
+    return ConjunctiveQuery(head, body, name=f"diff_{seed}"), database
+
+
+def _assert_engines_agree(query: ConjunctiveQuery, database: Instance) -> None:
+    try:
+        hash_engine = YannakakisEvaluator(query)
+    except AcyclicityRequired:
+        # Constant injection can, in rare corners, make the variable
+        # hypergraph cyclic; the differential check only covers the
+        # acyclic engines' domain.
+        return
+    expected = evaluate_generic(query, database)
+    assert hash_engine.evaluate(database) == expected
+    assert DictYannakakisEvaluator(query).evaluate(database) == expected
+    assert evaluate_with_plan(query, database) == expected
+    assert hash_engine.boolean(database) == bool(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_engines_agree_on_randomized_acyclic_workloads(seed):
+    query, database = _randomized_workload(seed)
+    _assert_engines_agree(query, database)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_engines_agree_on_seeded_grid(seed):
+    """A fixed, deterministic slice of the same space (fast CI signal)."""
+    query, database = _randomized_workload(seed * 7919)
+    _assert_engines_agree(query, database)
+
+
+class TestDedupRegression:
+    """The original evaluator keyed deduplication on ``str(term)``."""
+
+    E = Predicate("E", 2)
+
+    def test_constants_with_equal_string_forms_are_not_merged(self):
+        # str(Constant(1)) == str(Constant("1")) == "1": the old key
+        # conflated the two answers below into one.
+        database = Database(
+            [
+                Atom(self.E, (Constant(1), Constant("p"))),
+                Atom(self.E, (Constant("1"), Constant("q"))),
+            ]
+        )
+        query = ConjunctiveQuery(
+            (Variable("x"),), [Atom(self.E, (Variable("x"), Variable("y")))]
+        )
+        expected = evaluate_generic(query, database)
+        assert len(expected) == 2
+        assert evaluate_acyclic(query, database) == expected
+        assert DictYannakakisEvaluator(query).evaluate(database) == expected
+
+    def test_nulls_and_constants_sharing_a_name_are_not_merged(self):
+        database = Instance(
+            [
+                Atom(self.E, (Constant("n"), Constant("p"))),
+                Atom(self.E, (Null("n"), Constant("p"))),
+            ]
+        )
+        query = ConjunctiveQuery(
+            (Variable("x"),), [Atom(self.E, (Variable("x"), Variable("y")))]
+        )
+        expected = evaluate_generic(query, database)
+        assert len(expected) == 2
+        assert evaluate_acyclic(query, database) == expected
+        assert DictYannakakisEvaluator(query).evaluate(database) == expected
+
+    def test_projection_heavy_query_with_ambiguous_terms(self):
+        # The merge used to happen on *partial* tuples during the bottom-up
+        # projection joins, so exercise a two-node join tree as well.
+        F = Predicate("F", 2)
+        database = Database(
+            [
+                Atom(self.E, (Constant(1), Constant("m"))),
+                Atom(self.E, (Constant("1"), Constant("m"))),
+                Atom(F, (Constant("m"), Constant("t"))),
+            ]
+        )
+        query = ConjunctiveQuery(
+            (Variable("x"), Variable("z")),
+            [
+                Atom(self.E, (Variable("x"), Variable("y"))),
+                Atom(F, (Variable("y"), Variable("z"))),
+            ],
+        )
+        expected = evaluate_generic(query, database)
+        assert len(expected) == 2
+        assert evaluate_acyclic(query, database) == expected
+        assert DictYannakakisEvaluator(query).evaluate(database) == expected
+
+
+class TestRepeatedHeadVariables:
+    def test_head_repetition_is_preserved(self):
+        E = Predicate("E", 2)
+        database = Database([Atom(E, (Constant("a"), Constant("b")))])
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery((x, x, y), [Atom(E, (x, y))])
+        expected = {(Constant("a"), Constant("a"), Constant("b"))}
+        assert evaluate_generic(query, database) == expected
+        assert evaluate_acyclic(query, database) == expected
+        assert evaluate_with_plan(query, database) == expected

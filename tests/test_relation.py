@@ -1,0 +1,163 @@
+"""Unit tests for the hash-based relation engine (repro.evaluation.relation)."""
+
+import pytest
+
+from repro.datamodel import Atom, Constant, Database, Null, Predicate, Variable
+from repro.evaluation import Relation, SchemaError
+
+
+E = Predicate("E", 2)
+T = Predicate("T", 3)
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+a, b, c, d = Constant("a"), Constant("b"), Constant("c"), Constant("d")
+
+
+def edge_db(*edges):
+    database = Database()
+    for source, target in edges:
+        database.add(Atom(E, (Constant(source), Constant(target))))
+    return database
+
+
+class TestConstruction:
+    def test_schema_must_be_duplicate_free(self):
+        with pytest.raises(SchemaError):
+            Relation((x, x), [])
+
+    def test_unit_is_the_join_identity(self):
+        unit = Relation.unit()
+        other = Relation((x,), [(a,), (b,)])
+        assert unit.join(other) == other
+        assert other.join(unit) == other
+
+    def test_empty_relation_is_falsy(self):
+        assert not Relation.empty((x,))
+        assert Relation.empty((x,)).is_empty()
+        assert Relation((x,), [(a,)])
+
+    def test_from_atom_materialises_matching_facts(self):
+        relation = Relation.from_atom(Atom(E, (x, y)), edge_db(("a", "b"), ("c", "d")))
+        assert relation.schema == (x, y)
+        assert set(relation.rows) == {(a, b), (c, d)}
+
+    def test_from_atom_applies_constant_selections(self):
+        relation = Relation.from_atom(Atom(E, (x, b)), edge_db(("a", "b"), ("c", "d")))
+        assert relation.schema == (x,)
+        assert set(relation.rows) == {(a,)}
+
+    def test_from_atom_applies_repeated_variable_selections(self):
+        relation = Relation.from_atom(Atom(E, (x, x)), edge_db(("a", "a"), ("a", "b")))
+        assert relation.schema == (x,)
+        assert set(relation.rows) == {(a,)}
+
+    def test_from_atom_on_ternary_atom_with_mixed_terms(self):
+        database = Database(
+            [
+                Atom(T, (a, b, a)),
+                Atom(T, (a, b, c)),
+                Atom(T, (b, b, b)),
+            ]
+        )
+        relation = Relation.from_atom(Atom(T, (x, b, x)), database)
+        assert relation.schema == (x,)
+        assert set(relation.rows) == {(a,), (b,)}
+
+    def test_from_atom_with_all_constants(self):
+        database = edge_db(("a", "b"))
+        assert len(Relation.from_atom(Atom(E, (a, b)), database)) == 1
+        assert Relation.from_atom(Atom(E, (a, c)), database).is_empty()
+
+
+class TestOperators:
+    def test_semijoin_keeps_matching_rows_only(self):
+        left = Relation((x, y), [(a, b), (b, c), (c, d)])
+        right = Relation((y, z), [(b, a), (d, a)])
+        result = left.semijoin(right)
+        assert result.schema == (x, y)
+        assert set(result.rows) == {(a, b), (c, d)}
+
+    def test_semijoin_without_shared_variables_is_all_or_nothing(self):
+        left = Relation((x,), [(a,), (b,)])
+        assert left.semijoin(Relation((z,), [(c,)])) == left
+        assert left.semijoin(Relation.empty((z,))).is_empty()
+
+    def test_semijoin_alignment_is_by_name_not_position(self):
+        left = Relation((x, y), [(a, b)])
+        right = Relation((z, y, x), [(c, b, a), (c, a, b)])
+        assert set(left.semijoin(right).rows) == {(a, b)}
+
+    def test_join_combines_on_shared_variables(self):
+        left = Relation((x, y), [(a, b), (b, c)])
+        right = Relation((y, z), [(b, d), (b, a), (c, d)])
+        result = left.join(right)
+        assert result.schema == (x, y, z)
+        assert set(result.rows) == {(a, b, d), (a, b, a), (b, c, d)}
+
+    def test_join_without_shared_variables_is_cross_product(self):
+        left = Relation((x,), [(a,), (b,)])
+        right = Relation((y,), [(c,)])
+        assert set(left.join(right).rows) == {(a, c), (b, c)}
+
+    def test_join_with_identical_schema_is_intersection(self):
+        left = Relation((x, y), [(a, b), (b, c)])
+        right = Relation((x, y), [(a, b), (c, d)])
+        assert set(left.join(right).rows) == {(a, b)}
+
+    def test_project_deduplicates(self):
+        relation = Relation((x, y), [(a, b), (a, c), (b, c)])
+        result = relation.project((x,))
+        assert result.schema == (x,)
+        assert sorted(result.rows) == [(a,), (b,)]
+
+    def test_project_reorders_columns(self):
+        relation = Relation((x, y), [(a, b)])
+        assert Relation((y, x), [(b, a)]) == relation.project((y, x))
+
+    def test_project_rejects_unknown_variables(self):
+        with pytest.raises(SchemaError):
+            Relation((x,), [(a,)]).project((y,))
+
+    def test_select_filters_on_bindings(self):
+        relation = Relation((x, y), [(a, b), (a, c), (b, c)])
+        assert set(relation.select({x: a}).rows) == {(a, b), (a, c)}
+        assert set(relation.select({x: a, y: c}).rows) == {(a, c)}
+        # Variables outside the schema cannot disagree.
+        assert relation.select({z: d}) == relation
+
+    def test_select_equal_compares_columns(self):
+        relation = Relation((x, y), [(a, a), (a, b)])
+        assert set(relation.select_equal(x, y).rows) == {(a, a)}
+
+    def test_rename_changes_schema_only(self):
+        relation = Relation((x, y), [(a, b)])
+        renamed = relation.rename({x: z})
+        assert renamed.schema == (z, y)
+        assert renamed.rows == relation.rows
+
+    def test_distinct_removes_duplicate_rows(self):
+        relation = Relation((x,), [(a,), (a,), (b,)])
+        assert sorted(relation.distinct().rows) == [(a,), (b,)]
+
+
+class TestAnswers:
+    def test_answer_tuples_supports_repeated_head_variables(self):
+        relation = Relation((x, y), [(a, b)])
+        assert relation.answer_tuples((x, x, y)) == {(a, a, b)}
+
+    def test_answer_tuples_of_nullary_relation(self):
+        assert Relation.unit().answer_tuples(()) == {()}
+        assert Relation.empty().answer_tuples(()) == set()
+
+    def test_assignments_round_trip(self):
+        relation = Relation((x, y), [(a, b)])
+        assert list(relation.assignments()) == [{x: a, y: b}]
+
+
+class TestTermIdentity:
+    def test_constants_and_nulls_with_equal_strings_stay_distinct(self):
+        """str(Constant(1)) == str(Constant("1")) — hashing must not conflate them."""
+        one_int, one_str = Constant(1), Constant("1")
+        relation = Relation((x,), [(one_int,), (one_str,), (Null("1"),)])
+        assert len(relation.project((x,))) == 3
+        other = Relation((x, y), [(one_int, a)])
+        assert set(relation.semijoin(other).rows) == {(one_int,)}
