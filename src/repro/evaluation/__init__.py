@@ -29,11 +29,13 @@ from .join_plans import (
     plan_in_query_order,
 )
 from .cover_game import (
+    CoverEngine,
     CoverGameResult,
     existential_one_cover,
     instance_covers_database,
     query_covers_database,
 )
+from .cover_game_naive import existential_one_cover_naive
 from .semacyclic_eval import (
     NotSemanticallyAcyclic,
     SemAcEvaluation,
@@ -46,6 +48,7 @@ from .semacyclic_eval import (
 
 __all__ = [
     "AcyclicityRequired",
+    "CoverEngine",
     "CoverGameResult",
     "DictYannakakisEvaluator",
     "JoinPlan",
@@ -66,6 +69,7 @@ __all__ = [
     "evaluate_with_plan",
     "execute_plan",
     "existential_one_cover",
+    "existential_one_cover_naive",
     "instance_covers_database",
     "membership_baseline",
     "membership_generic",

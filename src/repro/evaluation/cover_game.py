@@ -5,26 +5,74 @@
 through the existence of a mapping ``H`` that assigns to every atom ``T(ā)``
 of ``I`` a non-empty set of atoms ``T(f(ā))`` of ``I'`` such that
 
-1. pebbles on answer positions are forced: if a component of ``ā`` is the
-   ``j``-th component of ``t̄``, its image must be the ``j``-th component of
-   ``t̄'``; and
+1. pebbles are forced: if a component of ``ā`` is the ``j``-th component of
+   ``t̄``, its image must be the ``j``-th component of ``t̄'`` — and since
+   every ``f`` in Lemma 28 is (a fragment of) a homomorphism, a component of
+   ``ā`` that is a *constant* is a pebble too: homomorphisms are the
+   identity on ``C`` (Section 2), so its image must be the constant itself.
+   Frozen variables (the ``c(x)`` constants of Lemma 1, see
+   :func:`repro.datamodel.freeze_variable`) encode query variables and stay
+   free.  The historical implementation omitted the constant pebbles, which
+   made ``q() :- R(x, 3)`` "covered" by ``D = {R(a, 5)}``.
 2. the choices are *forward consistent*: for every chosen image of ``T(ā)``
    and every atom ``S(b̄)`` of ``I`` there is a chosen image of ``S(b̄)``
    agreeing on all shared elements.
 
-The greatest such ``H`` is computed by the classical arc-consistency style
-fixpoint below, which runs in polynomial time (Proposition 29).  The key
-consequences used by the paper are Proposition 30 (winning the game transfers
-acyclic-CQ answers) and Proposition 31 / Lemma 32 (for semantically acyclic
-queries, and under guarded tgds, the game decides evaluation).
+The greatest such ``H`` exists and is computed here in the style of the
+AC-4 arc-consistency algorithm (within the polynomial bound of
+Proposition 29, and near-linearly on bounded-degeneracy inputs — cf. the
+acyclicity-sensitive bounds of Brault-Baron):
+
+* **Candidate images** per left atom are materialised with single-pass
+  scans of the right instance, bucketed by the atom's forced pebble
+  positions (the same constant-selection discipline as
+  :meth:`repro.evaluation.relation.Relation.from_atom`); atoms sharing a
+  predicate and pebble-position signature share one index.
+* **Supports** are counted per shared-term projection key: two left atoms
+  constrain each other exactly on the terms they share, and — because every
+  candidate image is internally consistent (equal source terms map to equal
+  targets) — two images agree on the shared terms iff their projections on
+  the first occurrences of those terms are equal.  For each neighbouring
+  pair the candidate images are grouped by that key, so an image's support
+  count in a neighbour is the size of one bucket.
+* **Deletions propagate through a worklist**: removing an image decrements
+  one counter per neighbour; a counter hitting zero kills exactly the
+  bucket it guards.  Every (image, neighbour) support pair is touched O(1)
+  times overall, instead of once per round of the classical fixpoint.
+
+The round-based reference implementation survives in
+:mod:`repro.evaluation.cover_game_naive` as the differential oracle and
+benchmark baseline (``benchmarks/bench_cover_game_scaling.py`` shows the
+growth-rate gap).  The key consequences used by the paper are
+Proposition 30 (winning the game transfers acyclic-CQ answers) and
+Proposition 31 / Lemma 32 (for semantically acyclic queries, and under
+guarded tgds, the game decides evaluation).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
-from ..datamodel import Atom, Constant, GroundTerm, Instance, Term, Variable
+from ..datamodel import (
+    Atom,
+    Constant,
+    GroundTerm,
+    Instance,
+    Term,
+    Variable,
+    is_frozen_constant,
+)
 from ..queries.cq import ConjunctiveQuery
 
 
@@ -37,6 +85,12 @@ class CoverGameResult:
     strategy: Dict[Atom, Set[Atom]]
 
 
+#: Signature shared by the worklist and the naive engine.
+CoverEngine = Callable[
+    [Instance, Sequence[Term], Instance, Sequence[Term]], CoverGameResult
+]
+
+
 def _position_constraints(
     atom_terms: Sequence[Term],
     left_tuple: Sequence[Term],
@@ -45,9 +99,12 @@ def _position_constraints(
     """For each position of ``atom_terms``: the forced image, if any.
 
     A position is forced when its term equals some component of ``left_tuple``
-    (then the image must be the corresponding component of ``right_tuple``).
-    If a term matches two components with different images, the atom has no
-    valid image at all and ``None`` is returned by the caller's filter.
+    (then the image must be the corresponding component of ``right_tuple``) or
+    when its term is a genuine constant (then the image must be the constant
+    itself — homomorphisms are the identity on ``C``; frozen variables are
+    exempt, they stand for query variables).  If a term is forced to two
+    different images the atom has no valid image at all and ``None`` is
+    returned.
     """
     forced: List[Optional[Term]] = []
     for term in atom_terms:
@@ -56,10 +113,17 @@ def _position_constraints(
             for index, left_term in enumerate(left_tuple)
             if left_term == term
         }
+        if isinstance(term, Constant) and not is_frozen_constant(term):
+            images.add(term)
         if len(images) > 1:
             return None
         forced.append(next(iter(images)) if images else None)
     return forced
+
+
+#: Cache of one pass over the right instance: for a predicate and a tuple of
+#: forced positions, the facts grouped by their projection on those positions.
+_BucketIndex = Dict[Tuple[object, Tuple[int, ...]], Dict[Tuple[Term, ...], List[Atom]]]
 
 
 def _candidate_images(
@@ -67,47 +131,57 @@ def _candidate_images(
     right: Instance,
     left_tuple: Sequence[Term],
     right_tuple: Sequence[Term],
-) -> Set[Atom]:
+    index_cache: Optional[_BucketIndex] = None,
+) -> List[Atom]:
     """Initial candidate images of ``atom``: same predicate, respecting pebbles
-    and the functional reading of the atom (equal terms map to equal terms)."""
+    (including constant pebbles) and the functional reading of the atom (equal
+    terms map to equal terms).
+
+    The right instance is scanned once per (predicate, forced-position
+    signature) and bucketed by the projection on the forced positions; the
+    bucket index is shared through ``index_cache`` so left atoms with the
+    same signature reuse the pass.
+    """
     forced = _position_constraints(atom.terms, left_tuple, right_tuple)
     if forced is None:
-        return set()
-    candidates: Set[Atom] = set()
-    for fact in right.atoms_with_predicate(atom.predicate):
-        mapping: Dict[Term, Term] = {}
-        ok = True
-        for index, (source, target) in enumerate(zip(atom.terms, fact.terms)):
-            if forced[index] is not None and target != forced[index]:
-                ok = False
-                break
-            bound = mapping.get(source)
-            if bound is None:
-                mapping[source] = target
-            elif bound != target:
-                ok = False
-                break
-        if ok:
-            candidates.add(fact)
-    return candidates
+        return []
+
+    forced_positions = tuple(
+        position for position, image in enumerate(forced) if image is not None
+    )
+    # Repeated-term positions beyond the first become equality checks.
+    first_position: Dict[Term, int] = {}
+    equality_checks: List[Tuple[int, int]] = []
+    for position, term in enumerate(atom.terms):
+        if term in first_position:
+            equality_checks.append((position, first_position[term]))
+        else:
+            first_position[term] = position
+
+    cache_key = (atom.predicate, forced_positions)
+    index = None if index_cache is None else index_cache.get(cache_key)
+    if index is None:
+        index = {}
+        for fact in right.atoms_with_predicate(atom.predicate):
+            bucket_key = tuple(fact.terms[position] for position in forced_positions)
+            index.setdefault(bucket_key, []).append(fact)
+        if index_cache is not None:
+            index_cache[cache_key] = index
+
+    wanted = tuple(forced[position] for position in forced_positions)
+    bucket = index.get(wanted, [])
+    if not equality_checks:
+        return list(bucket)
+    return [
+        fact
+        for fact in bucket
+        if all(fact.terms[p] == fact.terms[q] for p, q in equality_checks)
+    ]
 
 
-def _agree_on_shared(
-    left_a: Atom, image_a: Atom, left_b: Atom, image_b: Atom
-) -> bool:
-    """Do the two images agree on every term shared by the two left atoms?"""
-    assignment: Dict[Term, Term] = {}
-    for source, target in zip(left_a.terms, image_a.terms):
-        existing = assignment.get(source)
-        if existing is not None and existing != target:
-            return False
-        assignment[source] = target
-    for source, target in zip(left_b.terms, image_b.terms):
-        existing = assignment.get(source)
-        if existing is not None and existing != target:
-            return False
-        assignment[source] = target
-    return True
+def _first_positions(atom: Atom, terms: Sequence[Term]) -> Tuple[int, ...]:
+    """The first position in ``atom`` of each of ``terms`` (all must occur)."""
+    return tuple(atom.terms.index(term) for term in terms)
 
 
 def existential_one_cover(
@@ -116,65 +190,136 @@ def existential_one_cover(
     right: Instance,
     right_tuple: Sequence[Term],
 ) -> CoverGameResult:
-    """Decide ``(left, left_tuple) ≡∃1c (right, right_tuple)`` (Lemma 28)."""
+    """Decide ``(left, left_tuple) ≡∃1c (right, right_tuple)`` (Lemma 28).
+
+    AC-4-style worklist propagation: per neighbouring atom pair, candidate
+    images are grouped by their shared-term projection key and supports are
+    counted per key, so each deletion does O(degree) counter updates and the
+    whole fixpoint touches each (image, neighbour) support pair O(1) times.
+    """
     if len(left_tuple) != len(right_tuple):
         raise ValueError("the two distinguished tuples must have the same length")
 
     left_atoms = left.sorted_atoms()
-    strategy: Dict[Atom, Set[Atom]] = {
-        atom: _candidate_images(atom, right, left_tuple, right_tuple)
+    count = len(left_atoms)
+    index_cache: _BucketIndex = {}
+    alive: List[Set[Atom]] = [
+        set(_candidate_images(atom, right, left_tuple, right_tuple, index_cache))
         for atom in left_atoms
-    }
-    if any(not images for images in strategy.values()):
-        return CoverGameResult(False, strategy)
+    ]
 
-    # Only atom pairs that share a term constrain each other.
-    def shares_terms(a: Atom, b: Atom) -> bool:
-        return bool(set(a.terms) & set(b.terms))
+    def snapshot() -> Dict[Atom, Set[Atom]]:
+        return {atom: set(images) for atom, images in zip(left_atoms, alive)}
 
-    neighbours: Dict[Atom, List[Atom]] = {
-        atom: [other for other in left_atoms if other is not atom and shares_terms(atom, other)]
-        for atom in left_atoms
-    }
+    if any(not images for images in alive):
+        return CoverGameResult(False, snapshot())
 
-    changed = True
-    while changed:
-        changed = False
-        for atom in left_atoms:
-            surviving: Set[Atom] = set()
-            for image in strategy[atom]:
-                supported = True
-                for other in neighbours[atom]:
-                    if not any(
-                        _agree_on_shared(atom, image, other, other_image)
-                        for other_image in strategy[other]
-                    ):
-                        supported = False
-                        break
-                if supported:
-                    surviving.add(image)
-            if surviving != strategy[atom]:
-                strategy[atom] = surviving
-                changed = True
-                if not surviving:
-                    return CoverGameResult(False, strategy)
-    return CoverGameResult(True, strategy)
+    # ------------------------------------------------------------------
+    # Pair indexes: for each ordered neighbouring pair (i, j), the first
+    # occurrence positions of the shared terms in atom i, the images of i
+    # grouped by their projection on those positions, and — per key — the
+    # number of alive images of j projecting to the same key (the supports
+    # available to an i-image with that key).
+    # ------------------------------------------------------------------
+    term_sets = [set(atom.terms) for atom in left_atoms]
+    neighbours: Dict[int, List[int]] = {i: [] for i in range(count)}
+    key_positions: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    buckets: Dict[Tuple[int, int], Dict[Tuple[Term, ...], List[Atom]]] = {}
+    supports: Dict[Tuple[int, int], Dict[Tuple[Term, ...], int]] = {}
+
+    for i in range(count):
+        seen: Set[Term] = set()
+        shared_order = [
+            term
+            for term in left_atoms[i].terms
+            if not (term in seen or seen.add(term))
+        ]
+        for j in range(i + 1, count):
+            shared = [term for term in shared_order if term in term_sets[j]]
+            if not shared:
+                continue
+            neighbours[i].append(j)
+            neighbours[j].append(i)
+            for source, target in ((i, j), (j, i)):
+                positions = _first_positions(left_atoms[source], shared)
+                key_positions[(source, target)] = positions
+                grouped: Dict[Tuple[Term, ...], List[Atom]] = {}
+                for image in alive[source]:
+                    key = tuple(image.terms[p] for p in positions)
+                    grouped.setdefault(key, []).append(image)
+                buckets[(source, target)] = grouped
+            supports[(i, j)] = {
+                key: len(images) for key, images in buckets[(j, i)].items()
+            }
+            supports[(j, i)] = {
+                key: len(images) for key, images in buckets[(i, j)].items()
+            }
+
+    # Seed the worklist with every image whose key has no counterpart at all
+    # in some neighbour (support count zero from the start).
+    worklist: deque = deque()
+    for (i, j), grouped in buckets.items():
+        available = supports[(i, j)]
+        for key, images in grouped.items():
+            if key not in available:
+                for image in images:
+                    worklist.append((i, image))
+
+    while worklist:
+        i, image = worklist.popleft()
+        if image not in alive[i]:
+            continue  # already deleted through another neighbour
+        alive[i].remove(image)
+        if not alive[i]:
+            return CoverGameResult(False, snapshot())
+        for j in neighbours[i]:
+            key = tuple(image.terms[p] for p in key_positions[(i, j)])
+            remaining = supports[(j, i)]
+            remaining[key] = remaining.get(key, 0) - 1
+            if remaining[key] == 0:
+                # The deleted image was the last support for every j-image
+                # sharing this key: kill the bucket it guarded.
+                for victim in buckets[(j, i)].get(key, ()):
+                    if victim in alive[j]:
+                        worklist.append((j, victim))
+
+    return CoverGameResult(True, snapshot())
+
+
+def _resolve_engine(engine: Union[str, CoverEngine]) -> CoverEngine:
+    """Map an engine name (or a callable) to the fixpoint implementation."""
+    if callable(engine):
+        return engine
+    if engine == "worklist":
+        return existential_one_cover
+    if engine == "naive":
+        from .cover_game_naive import existential_one_cover_naive
+
+        return existential_one_cover_naive
+    raise ValueError(
+        f"unknown cover-game engine {engine!r} (expected 'worklist' or 'naive')"
+    )
 
 
 def query_covers_database(
     query: ConjunctiveQuery,
     database: Instance,
     answer: Sequence[GroundTerm] = (),
+    *,
+    engine: Union[str, CoverEngine] = "worklist",
 ) -> bool:
     """Decide ``(q, x̄) ≡∃1c (D, t̄)``.
 
     The query is read as an instance whose elements are its own variables and
     constants (the paper's slight abuse of notation in Proposition 31); the
-    distinguished tuple on the left is the tuple of free variables.
+    distinguished tuple on the left is the tuple of free variables.  Variables
+    are frozen into ``c(x)`` constants so they stay free in the game, while
+    genuine query constants act as forced pebbles.
     """
     left = Instance(atom.map_terms(_variable_as_element) for atom in query.body)
     left_tuple = [_variable_as_element(v) for v in query.head]
-    return existential_one_cover(left, left_tuple, database, list(answer)).duplicator_wins
+    play = _resolve_engine(engine)
+    return play(left, left_tuple, database, list(answer)).duplicator_wins
 
 
 def _variable_as_element(term: Term) -> Term:
@@ -191,6 +336,9 @@ def instance_covers_database(
     left_tuple: Sequence[GroundTerm],
     database: Instance,
     answer: Sequence[GroundTerm] = (),
+    *,
+    engine: Union[str, CoverEngine] = "worklist",
 ) -> bool:
     """Decide ``(I, t̄) ≡∃1c (D, t̄')`` for arbitrary instances (e.g. chases)."""
-    return existential_one_cover(left, list(left_tuple), database, list(answer)).duplicator_wins
+    play = _resolve_engine(engine)
+    return play(left, list(left_tuple), database, list(answer)).duplicator_wins

@@ -187,8 +187,10 @@ class Relation:
         """
         shared = self.shared_variables(other)
         if not shared:
-            # Degenerate semi-join: cross-product semantics.
-            return self if other.rows else Relation(self.schema, [])
+            # Degenerate semi-join: cross-product semantics.  Returned as a
+            # fresh relation (never ``self``) so mutating an operator's
+            # output can never corrupt its input.
+            return Relation(self.schema, self.rows if other.rows else [])
         key_of = self._key_function(shared)
         other_key_of = other._key_function(shared)
         keys = {other_key_of(row) for row in other.rows}
@@ -248,7 +250,8 @@ class Relation:
             if variable in self._positions
         )
         if not checks:
-            return self
+            # Fresh relation, not ``self``: outputs never alias inputs.
+            return Relation(self.schema, self.rows)
         return Relation(
             self.schema,
             [

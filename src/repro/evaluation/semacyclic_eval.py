@@ -26,7 +26,7 @@ from ..datamodel import GroundTerm, Instance, Term
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
-from .cover_game import instance_covers_database, query_covers_database
+from .cover_game import CoverEngine, instance_covers_database, query_covers_database
 from .generic import membership_generic
 from .relation import Relation
 from .yannakakis import YannakakisEvaluator
@@ -93,15 +93,19 @@ def membership_via_cover_game_guarded(
     query: ConjunctiveQuery,
     database: Instance,
     answer: Sequence[GroundTerm] = (),
+    *,
+    engine: Union[str, CoverEngine] = "worklist",
 ) -> bool:
     """Theorem 25: membership for semantically acyclic CQs under guarded tgds.
 
     For ``D ⊨ Σ`` with ``Σ`` guarded and ``q`` semantically acyclic under
     ``Σ``, ``t̄ ∈ q(D)`` iff the duplicator wins the existential 1-cover game
     on ``(q, x̄)`` and ``(D, t̄)`` — the constraints themselves never need to
-    be touched at evaluation time.
+    be touched at evaluation time.  ``engine`` selects the fixpoint
+    implementation (``"worklist"`` — the AC-4 propagator — or ``"naive"``,
+    the round-based baseline).
     """
-    return query_covers_database(query, database, answer)
+    return query_covers_database(query, database, answer, engine=engine)
 
 
 def membership_via_cover_game_egds(
@@ -109,6 +113,8 @@ def membership_via_cover_game_egds(
     egds: Sequence[EGD],
     database: Instance,
     answer: Sequence[GroundTerm] = (),
+    *,
+    engine: Union[str, CoverEngine] = "worklist",
 ) -> bool:
     """Proposition 31 for egd classes with polynomial chase (e.g. FDs).
 
@@ -119,7 +125,9 @@ def membership_via_cover_game_egds(
     if result.failed:
         return False
     left_tuple = [result.resolve(freezing[v]) for v in query.head]
-    return instance_covers_database(result.instance, left_tuple, database, answer)
+    return instance_covers_database(
+        result.instance, left_tuple, database, answer, engine=engine
+    )
 
 
 def membership_via_chase_and_cover_game_tgds(
@@ -129,6 +137,8 @@ def membership_via_chase_and_cover_game_tgds(
     answer: Sequence[GroundTerm] = (),
     max_steps: int = 5_000,
     max_depth: Optional[int] = None,
+    *,
+    engine: Union[str, CoverEngine] = "worklist",
 ) -> bool:
     """Proposition 31 instantiated with a (possibly truncated) tgd chase.
 
@@ -138,7 +148,9 @@ def membership_via_chase_and_cover_game_tgds(
     """
     result, freezing = chase_query(query, tgds, max_steps=max_steps, max_depth=max_depth)
     left_tuple = [freezing[v] for v in query.head]
-    return instance_covers_database(result.instance, left_tuple, database, answer)
+    return instance_covers_database(
+        result.instance, left_tuple, database, answer, engine=engine
+    )
 
 
 def membership_baseline(

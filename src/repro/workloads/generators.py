@@ -554,6 +554,78 @@ def layered_chain_query(
     return ConjunctiveQuery(head, atoms, name=f"chain_{layers}")
 
 
+def layered_decoy_database(
+    layers: int,
+    width: int,
+    fanout: int = 2,
+    decoy_width: Optional[int] = None,
+    seed=0,
+    predicate_prefix: str = "S",
+) -> Database:
+    """A layered chain database with dead-ending decoy chains per layer.
+
+    On top of :func:`layered_chain_database` (spine plus seeded random
+    edges), every intermediate layer ``1 ≤ i < layers`` gets ``decoy_width``
+    decoy nodes: relation ``S1`` feeds each first-layer decoy from a random
+    real source, and each later relation extends the decoy chains in
+    lockstep — but the final relation ``S{layers}`` never leaves a decoy, so
+    every decoy chain is a dead end.  In the existential 1-cover game this
+    is the propagation stress case: the images riding a decoy chain only die
+    when the deletion initiated at the chain's tip has cascaded all the way
+    back, which costs the round-based fixpoint one full re-scan per layer
+    while the worklist engine pays O(1) per support pair.  The spine
+    guarantees the duplicator still wins on the pure chain query, so the
+    fixpoint always runs to completion instead of exiting on an empty set.
+    """
+    if layers < 2:
+        raise ValueError("decoy chains need at least 2 layers")
+    if decoy_width is None:
+        decoy_width = width
+    rng = _rng(seed)
+    database = layered_chain_database(
+        layers, width, fanout=fanout, seed=rng.random(), predicate_prefix=predicate_prefix
+    )
+    real_sources = [Constant(f"L0_{i}") for i in range(width)]
+    for k in range(decoy_width):
+        database.add(
+            Atom(
+                Predicate(f"{predicate_prefix}1", 2),
+                (rng.choice(real_sources), Constant(f"D1_{k}")),
+            )
+        )
+        for layer in range(2, layers):
+            database.add(
+                Atom(
+                    Predicate(f"{predicate_prefix}{layer}", 2),
+                    (Constant(f"D{layer - 1}_{k}"), Constant(f"D{layer}_{k}")),
+                )
+            )
+    return database
+
+
+def cover_game_scaling_workload(
+    size: int,
+    layers: int = 4,
+    fanout: int = 2,
+    seed=0,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """A (query, database) pair with ``≈ size`` facts for cover-game scaling.
+
+    The query is the Boolean chain over the layered relations; the database
+    is :func:`layered_decoy_database` sized so that doubling ``size``
+    doubles every relation (real and decoy part alike).  Used by
+    ``benchmarks/bench_cover_game_scaling.py`` to demonstrate that the
+    worklist cover-game engine grows ≈ linearly per database doubling while
+    the round-based fixpoint re-scans every support pair each round.
+    """
+    # Facts per unit width: ``fanout`` real edges per layer plus one decoy
+    # edge per intermediate layer.
+    width = max(1, size // (layers * fanout + layers - 1))
+    query = layered_chain_query(layers, free_ends=False)
+    database = layered_decoy_database(layers, width, fanout=fanout, seed=seed)
+    return query, database
+
+
 def yannakakis_scaling_workload(
     size: int,
     layers: int = 4,

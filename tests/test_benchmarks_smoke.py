@@ -95,3 +95,25 @@ def test_scaling_assertions_are_skipped_in_smoke_mode(smoke_benchmarks):
     """The timing assertions must not fire on noise-dominated tiny inputs."""
     module = smoke_benchmarks("bench_yannakakis_scaling.py")
     module.test_hash_engine_linear_dict_engine_quadratic()
+
+
+def test_cover_game_scaling_runs_at_smoke_sizes(smoke_benchmarks):
+    """Execute the cover-game scaling measurement loop end to end on toys."""
+    module = smoke_benchmarks("bench_cover_game_scaling.py")
+    assert module.SIZES == module.SMOKE_SIZES
+    rows = module.run_scaling(sizes=[30, 60], repeats=1)
+    assert [row["size"] for row in rows] == sorted(row["size"] for row in rows)
+    for row in rows:
+        # The spine guarantees the duplicator wins, and run_scaling
+        # cross-checks the probe panel (worklist vs naive vs, at the
+        # smallest size, the generic homomorphism oracle) internally.
+        assert row["wins"] is True
+        assert row["answers_agree"]
+        assert row["worklist_time"] > 0 and row["naive_time"] > 0
+
+
+def test_cover_game_assertions_are_skipped_in_smoke_mode(smoke_benchmarks):
+    """The growth-factor assertions must not fire on tiny inputs — but the
+    engine-agreement assertions still must."""
+    module = smoke_benchmarks("bench_cover_game_scaling.py")
+    module.test_worklist_engine_outgrows_naive_engine()

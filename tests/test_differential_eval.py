@@ -26,9 +26,12 @@ from repro.evaluation import (
     AcyclicityRequired,
     DictYannakakisEvaluator,
     YannakakisEvaluator,
+    boolean_acyclic,
     evaluate_acyclic,
     evaluate_generic,
     evaluate_with_plan,
+    membership_generic,
+    membership_via_cover_game_guarded,
 )
 from repro.queries.cq import ConjunctiveQuery
 from repro.workloads.generators import (
@@ -100,6 +103,70 @@ def test_engines_agree_on_seeded_grid(seed):
     """A fixed, deterministic slice of the same space (fast CI signal)."""
     query, database = _randomized_workload(seed * 7919)
     _assert_engines_agree(query, database)
+
+
+def _boolean_workload_with_constants(seed: int):
+    """A Boolean acyclic CQ with injected constants plus a random database.
+
+    The cover-game differential needs constants in atom positions (the
+    confirmed false positive lived exactly there), so the injection rate is
+    higher than in :func:`_randomized_workload`, and a few constants outside
+    the database domain are thrown in to produce negative instances.
+    """
+    rng = random.Random(seed)
+    schema = random_schema(
+        seed=rng.random(), predicate_count=rng.randint(2, 4), max_arity=rng.randint(1, 3)
+    )
+    database = random_database(
+        seed=rng.random(),
+        schema=schema,
+        facts_per_predicate=rng.randint(5, 20),
+        domain_size=rng.randint(3, 8),
+    )
+    query = random_acyclic_query(
+        seed=rng.random(), schema=schema, atom_count=rng.randint(1, 5)
+    )
+
+    domain = sorted(database.constants(), key=str) + [Constant("missing"), Constant(3)]
+    body = []
+    for atom in query.body:
+        terms = list(atom.terms)
+        for position in range(len(terms)):
+            if rng.random() < 0.25:
+                terms[position] = rng.choice(domain)
+        body.append(Atom(atom.predicate, tuple(terms)))
+    return ConjunctiveQuery((), body, name=f"cover_diff_{seed}"), database
+
+
+def _assert_cover_game_decides_membership(query: ConjunctiveQuery, database: Instance) -> None:
+    """Lemma 32, degenerate case (no constraints): on acyclic CQs the
+    existential 1-cover game *is* membership — check both engines against
+    the homomorphism oracle and the Yannakakis Boolean evaluator."""
+    try:
+        YannakakisEvaluator(query)
+    except AcyclicityRequired:
+        # Constant injection can, in rare corners, make the variable
+        # hypergraph cyclic; exactness of the game is only guaranteed on
+        # the acyclic domain.
+        return
+    expected = membership_generic(query, database, ())
+    assert boolean_acyclic(query, database) == expected
+    assert membership_via_cover_game_guarded(query, database, engine="worklist") == expected
+    assert membership_via_cover_game_guarded(query, database, engine="naive") == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cover_game_engines_decide_membership_on_acyclic_boolean_queries(seed):
+    query, database = _boolean_workload_with_constants(seed)
+    _assert_cover_game_decides_membership(query, database)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_cover_game_engines_agree_on_seeded_grid(seed):
+    """A fixed, deterministic slice of the same space (fast CI signal)."""
+    query, database = _boolean_workload_with_constants(seed * 6271)
+    _assert_cover_game_decides_membership(query, database)
 
 
 class TestDedupRegression:

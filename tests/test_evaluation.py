@@ -13,15 +13,25 @@ from repro.evaluation import (
     evaluate_generic,
     evaluate_via_reformulation,
     existential_one_cover,
+    existential_one_cover_naive,
     instance_covers_database,
     membership_baseline,
+    membership_generic,
     membership_via_chase_and_cover_game_tgds,
     membership_via_cover_game_egds,
     membership_via_cover_game_guarded,
     query_covers_database,
 )
 from repro.parser import parse_egd, parse_query, parse_tgd
-from repro.workloads.generators import grid_database, music_store_database, path_database, random_database, random_schema
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.generators import (
+    cover_game_scaling_workload,
+    grid_database,
+    music_store_database,
+    path_database,
+    random_database,
+    random_schema,
+)
 from repro.workloads.paper_examples import (
     example1_query,
     example1_tgd,
@@ -119,6 +129,115 @@ class TestCoverGame:
     def test_mismatched_tuples_rejected(self):
         with pytest.raises(ValueError):
             existential_one_cover(Instance(), (Constant("a"),), Instance(), ())
+        with pytest.raises(ValueError):
+            existential_one_cover_naive(Instance(), (Constant("a"),), Instance(), ())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            query_covers_database(
+                parse_query("E(x, y)"), edge_db(("a", "b")), engine="no-such-engine"
+            )
+
+
+COVER_ENGINES = ("worklist", "naive")
+
+
+class TestCoverGameConstants:
+    """Constants in left atoms are forced pebbles (homomorphisms are the
+    identity on ``C``) — the regression suite for the confirmed false
+    positive ``q() :- R(x, 3)`` vs ``D = {R(a, 5)}``, on both engines."""
+
+    R = Predicate("R", 2)
+
+    def _query_with_constant(self, constant) -> ConjunctiveQuery:
+        return ConjunctiveQuery((), [Atom(self.R, (Variable("x"), constant))])
+
+    @pytest.mark.parametrize("engine", COVER_ENGINES)
+    def test_constant_must_map_to_itself(self, engine):
+        query = self._query_with_constant(Constant(3))
+        database = Database([Atom(self.R, (Constant("a"), Constant(5)))])
+        assert not query_covers_database(query, database, engine=engine)
+        assert not membership_via_cover_game_guarded(query, database, engine=engine)
+        assert query_covers_database(query, database, engine=engine) == membership_generic(
+            query, database, ()
+        )
+
+    @pytest.mark.parametrize("engine", COVER_ENGINES)
+    def test_string_equal_but_distinct_constants_are_not_conflated(self, engine):
+        # str(Constant(3)) == str(Constant("3")) == "3", but the terms differ.
+        query = self._query_with_constant(Constant(3))
+        database = Database([Atom(self.R, (Constant("a"), Constant("3")))])
+        assert not query_covers_database(query, database, engine=engine)
+        assert query_covers_database(query, database, engine=engine) == membership_generic(
+            query, database, ()
+        )
+
+    @pytest.mark.parametrize("engine", COVER_ENGINES)
+    def test_matching_constant_is_accepted(self, engine):
+        query = self._query_with_constant(Constant(3))
+        database = Database([Atom(self.R, (Constant("a"), Constant(3)))])
+        assert query_covers_database(query, database, engine=engine)
+
+    @pytest.mark.parametrize("engine", COVER_ENGINES)
+    def test_frozen_variables_keep_mapping_freely(self, engine):
+        # Variables (frozen into c(x) constants) are not pebbles: the plain
+        # edge query covers any database with an edge.
+        query = parse_query("E(x, y)")
+        database = edge_db(("a", "b"))
+        assert query_covers_database(query, database, engine=engine)
+
+    @pytest.mark.parametrize("engine", COVER_ENGINES)
+    def test_constant_conflicting_with_answer_pebble_loses(self, engine):
+        # The left tuple pins Constant("c") to Constant("d") while the
+        # constant itself demands the identity: no image can satisfy both.
+        left = Instance([Atom(self.R, (Constant("c"), Constant("c")))])
+        right = Instance([Atom(self.R, (Constant("d"), Constant("d")))])
+        assert not instance_covers_database(
+            left, (Constant("c"),), right, (Constant("d"),), engine=engine
+        )
+
+    @pytest.mark.parametrize("engine", COVER_ENGINES)
+    def test_all_constant_atom_requires_the_exact_fact(self, engine):
+        query = ConjunctiveQuery((), [Atom(self.R, (Constant(1), Constant(2)))])
+        assert query_covers_database(
+            query, Database([Atom(self.R, (Constant(1), Constant(2)))]), engine=engine
+        )
+        assert not query_covers_database(
+            query, Database([Atom(self.R, (Constant(2), Constant(1)))]), engine=engine
+        )
+
+
+class TestCoverGameEnginesCoincide:
+    """The greatest consistent strategy is unique — both engines must return
+    identical strategies, not just identical verdicts."""
+
+    def test_strategies_coincide_on_decoy_workload(self):
+        query, database = cover_game_scaling_workload(80)
+        left = query.canonical_database()
+        worklist = existential_one_cover(left, (), database, ())
+        naive = existential_one_cover_naive(left, (), database, ())
+        assert worklist.duplicator_wins and naive.duplicator_wins
+        assert worklist.strategy == naive.strategy
+        # The decoy chains must actually have been pruned by propagation.
+        assert any(
+            len(images) < len(database.atoms_with_predicate(atom.predicate))
+            for atom, images in worklist.strategy.items()
+        )
+
+    def test_strategies_coincide_on_random_databases(self):
+        left = parse_query("E(x, y), E(y, z), F(z)").canonical_database()
+        for seed in range(5):
+            schema = random_schema(seed=seed, predicate_count=2, max_arity=2)
+            database = random_database(
+                seed=seed, schema=schema, facts_per_predicate=12, domain_size=4
+            )
+            database.add(Atom(Predicate("E", 2), (Constant("u"), Constant("u"))))
+            database.add(Atom(Predicate("F", 1), (Constant("u"),)))
+            worklist = existential_one_cover(left, (), database, ())
+            naive = existential_one_cover_naive(left, (), database, ())
+            assert worklist.duplicator_wins == naive.duplicator_wins
+            if worklist.duplicator_wins:
+                assert worklist.strategy == naive.strategy
 
 
 class TestSemAcEval:

@@ -139,6 +139,39 @@ class TestOperators:
         assert sorted(relation.distinct().rows) == [(a,), (b,)]
 
 
+class TestNoAliasing:
+    """Operator outputs never share a ``rows`` list with their operands —
+    mutating a result must not corrupt an input (regression for the
+    degenerate ``semijoin``/``select`` paths that returned ``self``)."""
+
+    def test_degenerate_semijoin_returns_a_fresh_relation(self):
+        left = Relation((x,), [(a,), (b,)])
+        right = Relation((z,), [(c,)])  # no shared variables, non-empty
+        result = left.semijoin(right)
+        assert result == left
+        assert result is not left
+        assert result.rows is not left.rows
+        result.rows.append((d,))
+        assert left.rows == [(a,), (b,)]
+
+    def test_degenerate_semijoin_against_empty_is_a_fresh_empty_relation(self):
+        left = Relation((x,), [(a,)])
+        result = left.semijoin(Relation.empty((z,)))
+        assert result.is_empty()
+        result.rows.append((b,))
+        assert left.rows == [(a,)]
+
+    def test_select_with_no_applicable_checks_returns_a_fresh_relation(self):
+        relation = Relation((x, y), [(a, b)])
+        for binding in ({}, {z: c}):  # empty, and entirely outside the schema
+            result = relation.select(binding)
+            assert result == relation
+            assert result is not relation
+            assert result.rows is not relation.rows
+            result.rows.clear()
+            assert relation.rows == [(a, b)]
+
+
 class TestAnswers:
     def test_answer_tuples_supports_repeated_head_variables(self):
         relation = Relation((x, y), [(a, b)])

@@ -10,9 +10,11 @@ from repro.queries import treewidth_upper_bound, gaifman_graph_of_instance, max_
 from repro.workloads import (
     binary_keys,
     chain_non_recursive_tgds,
+    cover_game_scaling_workload,
     cycle_query,
     database_satisfying,
     grid_database,
+    layered_decoy_database,
     music_store_database,
     path_database,
     path_query,
@@ -95,6 +97,37 @@ class TestGenerators:
         database = music_store_database(seed=2, customers=6, records=8, styles=3)
         assert example1_tgd().is_satisfied_by(database)
         assert example1_query().holds_in(database)
+
+    def test_layered_decoy_database_has_dead_ending_decoy_chains(self):
+        layers, width = 4, 6
+        database = layered_decoy_database(layers, width, fanout=2)
+        # Real part plus one decoy edge per intermediate layer per unit
+        # width (random real edges may collide with the spine, so the count
+        # is an upper bound; the spine and decoy chains are exact).
+        expected = layers * width * 2 + (layers - 1) * width
+        assert 0.8 * expected <= len(database) <= expected
+        # Final-layer decoys are dead ends: no S4 fact leaves a decoy node.
+        last = Predicate(f"S{layers}", 2)
+        assert not any(
+            str(fact.terms[0]).startswith("D")
+            for fact in database.atoms_with_predicate(last)
+        )
+        # Intermediate decoy chains do extend (D1_k -> D2_k in S2).
+        assert any(
+            str(fact.terms[0]).startswith("D1_")
+            for fact in database.atoms_with_predicate(Predicate("S2", 2))
+        )
+        with pytest.raises(ValueError):
+            layered_decoy_database(1, width)
+
+    def test_cover_game_scaling_workload_sizes_track_the_target(self):
+        query, database = cover_game_scaling_workload(400)
+        assert query.head == ()  # Boolean chain query
+        assert len(query.body) == 4
+        assert 0.8 * 400 <= len(database) <= 1.2 * 400
+        # Doubling the target ≈ doubles the database.
+        _, doubled = cover_game_scaling_workload(800)
+        assert 1.6 <= len(doubled) / len(database) <= 2.4
 
 
 class TestPaperExampleFamilies:
