@@ -1,0 +1,22 @@
+# Convenience wrappers around the repository's canonical commands.
+# Everything runs from the repo root with the src/ layout on PYTHONPATH.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test docs-check bench bench-smoke
+
+## Tier-1 verify: the command every PR must keep green.
+test:
+	$(PYTEST) -x -q
+
+## Execute the fenced python blocks of README.md (docs can't rot).
+docs-check:
+	$(PYTEST) -q tests/test_readme_snippets.py
+
+## Full benchmark suite (paper-artefact sizes; minutes).
+bench:
+	$(PYTEST) benchmarks/ -s
+
+## Benchmark suite at smoke sizes (seconds; what tier-1 also exercises).
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTEST) benchmarks/ -q

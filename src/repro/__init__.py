@@ -49,9 +49,12 @@ from .containment import (
 )
 from .rewriting import rewrite, ucq_rewritable_height_bound
 from .evaluation import (
+    BatchEvaluator,
     Relation,
+    ScanCache,
     YannakakisEvaluator,
     evaluate_acyclic,
+    evaluate_batch,
     evaluate_generic,
     query_covers_database,
 )
@@ -98,6 +101,8 @@ __all__ = [
     "TGD",
     "UnionOfConjunctiveQueries",
     "Variable",
+    "BatchEvaluator",
+    "ScanCache",
     "YannakakisEvaluator",
     "acyclic_approximations",
     "chase",
@@ -118,6 +123,7 @@ __all__ = [
     "equivalent_under_egds",
     "equivalent_under_tgds",
     "evaluate_acyclic",
+    "evaluate_batch",
     "evaluate_generic",
     "find_acyclic_reformulation_tgds",
     "is_guarded_set",

@@ -1,13 +1,20 @@
-"""Evaluation engines: Yannakakis, generic join, cover game, SemAcEval.
+"""Evaluation engines: Yannakakis, generic join, cover game, SemAcEval, batch.
 
 All set-at-a-time engines (Yannakakis and the plan executor) run on the
 hash-partitioned :class:`~repro.evaluation.relation.Relation` layer; the
 original assignment-dict Yannakakis survives in
 :mod:`repro.evaluation.yannakakis_dict` as a benchmark baseline and
 differential-testing oracle.
+
+Batches of queries over one database go through :func:`evaluate_batch`
+(:mod:`repro.evaluation.batch`), which shares the phase-1 atom scans and
+hash partitions across the whole batch via a :class:`ScanCache`; the same
+cache can be injected into any single-query entry point through its
+``scans=`` parameter.
 """
 
-from .relation import Relation, SchemaError
+from .relation import Partition, Relation, ScanProvider, SchemaError
+from .batch import BatchEvaluator, ScanCache, atom_signature
 from .yannakakis import (
     AcyclicityRequired,
     YannakakisEvaluator,
@@ -39,6 +46,7 @@ from .cover_game_naive import existential_one_cover_naive
 from .semacyclic_eval import (
     NotSemanticallyAcyclic,
     SemAcEvaluation,
+    evaluate_batch,
     evaluate_via_reformulation,
     membership_baseline,
     membership_via_chase_and_cover_game_tgds,
@@ -48,22 +56,28 @@ from .semacyclic_eval import (
 
 __all__ = [
     "AcyclicityRequired",
+    "BatchEvaluator",
     "CoverEngine",
     "CoverGameResult",
     "DictYannakakisEvaluator",
     "JoinPlan",
     "NotSemanticallyAcyclic",
+    "Partition",
     "PlanExecution",
     "PlanStep",
     "Relation",
+    "ScanCache",
+    "ScanProvider",
     "SchemaError",
     "SemAcEvaluation",
     "YannakakisEvaluator",
+    "atom_signature",
     "boolean_acyclic",
     "boolean_generic",
     "boolean_with_plan",
     "estimate_cardinality",
     "evaluate_acyclic",
+    "evaluate_batch",
     "evaluate_generic",
     "evaluate_via_reformulation",
     "evaluate_with_plan",

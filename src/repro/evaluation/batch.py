@@ -1,0 +1,313 @@
+"""Batched multi-query evaluation with shared scans and partitions.
+
+The serving-path scenario of the ROADMAP — many users issuing many CQs over
+one shared database — repeats an enormous amount of phase-1 work when the
+queries are evaluated one at a time: every evaluator call re-scans each body
+atom's relation (:meth:`Relation.from_atom`) and rebuilds the hash
+partitions the semi-joins and joins probe.  Across a batch of queries over
+overlapping predicates those scans are overwhelmingly identical.
+
+This module amortises them:
+
+* :class:`ScanCache` is a per-database cache of base-atom scans keyed by the
+  atom's *scan signature* — its predicate plus the pattern of constants and
+  repeated variables over its positions.  Two atoms with the same signature
+  (``R(x, y)`` and ``R(u, v)``; ``R(x, 3)`` and ``R(u, 3)``) denote the same
+  relation up to variable naming, so the cache materialises it once and
+  serves ``O(1)`` schema views of it.  Because views share the underlying
+  partition cache (:meth:`Relation.with_schema`), the hash partitions built
+  by one query's semi-joins are reused by every later query joining the same
+  scan on the same columns.
+
+* :class:`BatchEvaluator` routes each query of a batch to the cheapest
+  applicable engine — Yannakakis for acyclic queries, Yannakakis on an
+  acyclic reformulation (Proposition 24) when tgds make the query
+  semantically acyclic, a greedy hash-join plan otherwise — and drives all
+  of them against one shared :class:`ScanCache`.
+
+The public batch entry point is
+:func:`repro.evaluation.semacyclic_eval.evaluate_batch`; the benchmark
+``benchmarks/bench_batch_eval.py`` measures the amortisation on the
+shared-predicate workload of
+:func:`repro.workloads.generators.shared_predicate_batch_workload`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..datamodel import Atom, Constant, Instance, Predicate, Term, Variable
+from ..dependencies.tgd import TGD
+from ..queries.cq import ConjunctiveQuery
+from .join_plans import evaluate_with_plan
+from .relation import Relation, Row, ScanProvider, compile_scan_pattern
+from .yannakakis import AcyclicityRequired, YannakakisEvaluator
+
+
+#: One signature slot: a constant pinned at the position, or the index
+#: (in first-occurrence order) of the distinct variable at the position.
+SignatureSlot = Tuple[str, Union[Constant, int]]
+
+#: A scan signature: the predicate plus one slot per position.
+ScanSignature = Tuple[Predicate, Tuple[SignatureSlot, ...]]
+
+
+def atom_signature(atom: Atom) -> Tuple[ScanSignature, Tuple[Variable, ...]]:
+    """Return the scan signature of ``atom`` plus its distinct variables.
+
+    The signature abstracts variable *names* away: each position carries
+    either ``("c", constant)`` or ``("v", i)`` where ``i`` numbers the
+    atom's distinct variables in first-occurrence order.  Two atoms have
+    equal signatures iff they denote the same relation up to renaming, which
+    is exactly the granularity at which scans can be shared.  ``O(arity)``.
+    """
+    slots: List[SignatureSlot] = []
+    order: List[Variable] = []
+    index: Dict[Variable, int] = {}
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            slot = index.get(term)
+            if slot is None:
+                slot = len(order)
+                index[term] = slot
+                order.append(term)
+            slots.append(("v", slot))
+        else:
+            slots.append(("c", term))
+    return (atom.predicate, tuple(slots)), tuple(order)
+
+
+class ScanCache:
+    """Shared phase-1 scans and hash partitions for one database.
+
+    One cache is bound to one :class:`Instance`; :meth:`scan` then serves
+    every base-atom relation a batch of evaluators needs:
+
+    * first request for a predicate: one ``O(|R|)`` pass materialises the
+      *base* relation (every position a distinct variable);
+    * first request for a signature with constants: the base relation is
+      hash-partitioned by the constant positions **once** (cached on the
+      relation), after which *every* signature pinning those positions —
+      e.g. the same atom anchored at each of many different constants —
+      costs one ``O(1)`` bucket lookup plus work linear in the bucket,
+      not in ``|R|``;
+    * repeated request for a signature: ``O(arity)`` (an ``O(1)``-storage
+      schema view of the cached relation).
+
+    Served relations share row storage and partition caches across queries
+    (see :meth:`Relation.with_schema`), so semi-join/join partitions built
+    by one query are reused by the rest of the batch.  The counters
+    ``served``/``built``/``base_scans`` make the amortisation observable for
+    tests and benchmarks.
+    """
+
+    def __init__(self, database: Instance) -> None:
+        self.database = database
+        # Cheap staleness guard: a cache is bound to one database *state*.
+        # Identity catches a different Instance; the size snapshot catches
+        # the common in-place mutation (adding/removing facts).  Mutations
+        # that keep the size constant are on the caller — the documented
+        # discipline is: don't mutate the database while a cache is live.
+        self._database_size = len(database)
+        self._scans: Dict[ScanSignature, Relation] = {}
+        #: Scan requests answered (cache hits + misses).
+        self.served = 0
+        #: Distinct signatures materialised (cache misses).  Maintained by
+        #: the build paths so base and derived builds are each counted once.
+        self.built = 0
+        #: Full passes over a predicate's facts (base-relation builds).
+        self.base_scans = 0
+
+    def scan(self, atom: Atom, database: Optional[Instance] = None) -> Relation:
+        """The relation of ``atom`` over the cache's database.
+
+        Amortised cost: ``O(arity)`` after the first request for the atom's
+        signature (see the class docstring for the miss costs).
+
+        Raises:
+            ValueError: if ``database`` is given and is not the instance the
+                cache was built for, or if the bound database changed size
+                since the cache was built.  (Size-preserving in-place
+                mutation is not detectable in O(1); the contract is that the
+                database is not mutated while a cache is live.)
+        """
+        if database is not None and database is not self.database:
+            raise ValueError(
+                "ScanCache is bound to one database; build a new cache for "
+                "a different instance"
+            )
+        if len(self.database) != self._database_size:
+            raise ValueError(
+                "the database changed size since this ScanCache was built; "
+                "build a new cache after mutating the database"
+            )
+        self.served += 1
+        signature, variables = atom_signature(atom)
+        relation = self._scans.get(signature)
+        if relation is None:
+            relation = self._materialise(signature)
+            self._scans[signature] = relation
+        return relation.with_schema(variables)
+
+    # ------------------------------------------------------------------
+    def _base(self, predicate: Predicate) -> Relation:
+        """The full relation of ``predicate`` (one cached ``O(|R|)`` pass)."""
+        signature: ScanSignature = (
+            predicate,
+            tuple(("v", i) for i in range(predicate.arity)),
+        )
+        relation = self._scans.get(signature)
+        if relation is None:
+            schema = [Variable(f"_s{i}") for i in range(predicate.arity)]
+            rows = [fact.terms for fact in self.database.atoms_with_predicate(predicate)]
+            relation = Relation(schema, rows)
+            self._scans[signature] = relation
+            self.built += 1
+            self.base_scans += 1
+        return relation
+
+    def _materialise(self, signature: ScanSignature) -> Relation:
+        """Build the canonical relation of a non-base signature.
+
+        The selection/projection plan comes from the same
+        :func:`~repro.evaluation.relation.compile_scan_pattern` that
+        :meth:`Relation.from_atom` uses (one source of truth for
+        atom-matching semantics).  Constant selections go through a cached
+        partition of the base relation (``O(|R|)`` the first time a position
+        set is pinned, ``O(bucket)`` afterwards); repeated-variable
+        equalities and the projection onto first occurrences are linear in
+        the selected rows.
+        """
+        predicate, slots = signature
+        base = self._base(predicate)
+        if slots == tuple(("v", i) for i in range(predicate.arity)):
+            return base
+        self.built += 1
+
+        # A slot is a Constant (selection) or a distinct-variable index;
+        # feeding those indexes to the pattern compiler reproduces exactly
+        # the variable-identity structure of the original atom.
+        pattern = compile_scan_pattern([value for _, value in slots])
+
+        # Constant selections are answered by a cached partition bucket
+        # instead of pattern.matches' per-row constant comparisons.
+        source: Sequence[Row] = base.rows
+        if pattern.constant_checks:
+            pinned = [base.schema[position] for position, _ in pattern.constant_checks]
+            key = tuple(constant for _, constant in pattern.constant_checks)
+            source = base.partition(pinned).get(key)
+
+        rows: List[Row] = []
+        for row in source:
+            if any(row[position] != row[first] for position, first in pattern.equality_checks):
+                continue
+            rows.append(pattern.project(row))
+        schema = [Variable(f"_s{i}") for i in range(len(pattern.output_positions))]
+        return Relation(schema, rows)
+
+
+class BatchEvaluator:
+    """Evaluate a batch of CQs over one database with shared phase-1 work.
+
+    Per query, the constructor picks a route (query-only work, paid once):
+
+    * ``"yannakakis"`` — the query is acyclic: Yannakakis' four phases
+      (linear data complexity);
+    * ``"reformulated"`` — the query is cyclic but ``tgds`` admit an acyclic
+      reformulation (Proposition 24): Yannakakis on the reformulation — the
+      fpt route, sound on every database satisfying the tgds;
+    * ``"plan"`` — fallback: a greedy hash-join plan on the Relation engine
+      (worst-case exponential in the query, as CQ evaluation must be).
+
+    :meth:`evaluate` then drives every route against one shared
+    :class:`ScanCache`, so the batch pays each distinct (predicate,
+    constant-signature) scan and each distinct partition once;
+    :meth:`evaluate_sequential` is the one-at-a-time baseline with identical
+    routing, used by the differential tests and the benchmark.
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        *,
+        tgds: Sequence[TGD] = (),
+    ) -> None:
+        self.queries: List[ConjunctiveQuery] = list(queries)
+        self.tgds: Tuple[TGD, ...] = tuple(tgds)
+        self._routes: List[Tuple[str, Optional[YannakakisEvaluator]]] = [
+            self._route(query) for query in self.queries
+        ]
+
+    def _route(self, query: ConjunctiveQuery) -> Tuple[str, Optional[YannakakisEvaluator]]:
+        try:
+            return ("yannakakis", YannakakisEvaluator(query))
+        except AcyclicityRequired:
+            pass
+        if self.tgds:
+            from ..core.semantic_acyclicity import find_acyclic_reformulation_tgds
+
+            reformulation = find_acyclic_reformulation_tgds(query, self.tgds)
+            if reformulation is not None:
+                return ("reformulated", YannakakisEvaluator(reformulation))
+        return ("plan", None)
+
+    def routes(self) -> List[str]:
+        """The route chosen per query (aligned with ``self.queries``)."""
+        return [kind for kind, _ in self._routes]
+
+    def _evaluate_one(
+        self,
+        query: ConjunctiveQuery,
+        route: Tuple[str, Optional[YannakakisEvaluator]],
+        database: Instance,
+        scans: Optional[ScanProvider],
+    ) -> Set[Tuple[Term, ...]]:
+        kind, evaluator = route
+        if evaluator is not None:  # "yannakakis" and "reformulated"
+            return evaluator.evaluate(database, scans=scans)
+        return evaluate_with_plan(query, database, scans=scans)
+
+    def evaluate(
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+    ) -> List[Set[Tuple[Term, ...]]]:
+        """Return ``[q(D) for q in queries]`` with shared phase-1 work.
+
+        A fresh :class:`ScanCache` for ``database`` is created unless
+        ``scans`` supplies one (pass an explicit cache to amortise across
+        *calls* as well, e.g. for a standing query batch over a database
+        that did not change).  Data complexity: each distinct scan signature
+        is materialised once, after which every acyclic (or reformulated)
+        query adds its own linear semi-join/join cost and every plan-routed
+        query its plan cost.
+        """
+        if scans is None:
+            scans = ScanCache(database)
+        return [
+            self._evaluate_one(query, route, database, scans)
+            for query, route in zip(self.queries, self._routes)
+        ]
+
+    def evaluate_sequential(self, database: Instance) -> List[Set[Tuple[Term, ...]]]:
+        """The per-query baseline: identical routing, no shared scans.
+
+        Every query re-runs its own phase-1 scans via
+        :meth:`Relation.from_atom`, exactly as the one-query-at-a-time entry
+        points do — this is the benchmark baseline and the differential
+        oracle for :meth:`evaluate`.
+        """
+        return [
+            self._evaluate_one(query, route, database, None)
+            for query, route in zip(self.queries, self._routes)
+        ]

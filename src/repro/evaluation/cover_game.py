@@ -43,10 +43,13 @@ acyclicity-sensitive bounds of Brault-Baron):
 The round-based reference implementation survives in
 :mod:`repro.evaluation.cover_game_naive` as the differential oracle and
 benchmark baseline (``benchmarks/bench_cover_game_scaling.py`` shows the
-growth-rate gap).  The key consequences used by the paper are
-Proposition 30 (winning the game transfers acyclic-CQ answers) and
-Proposition 31 / Lemma 32 (for semantically acyclic queries, and under
-guarded tgds, the game decides evaluation).
+growth-rate gap); every cover-game entry point — here and in
+:mod:`repro.evaluation.semacyclic_eval` — accepts ``engine="worklist"``
+(this module's AC-4 propagator, the default) or ``engine="naive"`` (the
+round-based fixpoint) to select between them.  The key consequences used by
+the paper are Proposition 30 (winning the game transfers acyclic-CQ
+answers) and Proposition 31 / Lemma 32 (for semantically acyclic queries,
+and under guarded tgds, the game decides evaluation).
 """
 
 from __future__ import annotations

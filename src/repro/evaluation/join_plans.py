@@ -21,11 +21,11 @@ the real win" story honest by comparing against a non-strawman baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..datamodel import Atom, Constant, Instance, Term, Variable
 from ..queries.cq import ConjunctiveQuery
-from .relation import Relation
+from .relation import Relation, ScanProvider
 
 
 # ----------------------------------------------------------------------
@@ -171,7 +171,12 @@ def _plan_from_order(
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def execute_plan(plan: JoinPlan, database: Instance) -> PlanExecution:
+def execute_plan(
+    plan: JoinPlan,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+) -> PlanExecution:
     """Execute a join plan as a chain of hash joins over :class:`Relation`.
 
     Each step materialises the atom's relation (one linear scan, constants
@@ -179,12 +184,13 @@ def execute_plan(plan: JoinPlan, database: Instance) -> PlanExecution:
     accumulated intermediate relation, so a step costs time linear in its
     inputs plus its output.  The intermediates are materialised step by step
     (pipelining would hide the intermediate sizes the ablation benchmark
-    wants to report).
+    wants to report).  ``scans`` injects a shared scan provider for the
+    per-atom materialisations (see :meth:`Relation.from_atom`).
     """
     relation = Relation.unit()
     intermediate_sizes: List[int] = []
     for step in plan.steps:
-        relation = relation.join(Relation.from_atom(step.atom, database))
+        relation = relation.join(Relation.from_atom(step.atom, database, scans))
         intermediate_sizes.append(len(relation))
         if relation.is_empty():
             break
@@ -199,16 +205,20 @@ def evaluate_with_plan(
     query: ConjunctiveQuery,
     database: Instance,
     planner=plan_greedy,
+    *,
+    scans: Optional[ScanProvider] = None,
 ) -> Set[Tuple[Term, ...]]:
     """Plan and execute ``query`` over ``database``; return the answer set."""
     plan = planner(query, database)
-    return execute_plan(plan, database).answers
+    return execute_plan(plan, database, scans=scans).answers
 
 
 def boolean_with_plan(
     query: ConjunctiveQuery,
     database: Instance,
     planner=plan_greedy,
+    *,
+    scans: Optional[ScanProvider] = None,
 ) -> bool:
     """Boolean evaluation through a join plan."""
-    return bool(evaluate_with_plan(query, database, planner=planner))
+    return bool(evaluate_with_plan(query, database, planner=planner, scans=scans))

@@ -19,6 +19,17 @@ that rows are pairwise distinct (scanning a base atom produces distinct
 rows, and every operator maps distinct inputs to distinct outputs), so a
 list keeps iteration cheap and deterministic.  ``project`` is the one
 operator that can merge rows and therefore deduplicates explicitly.
+
+Partitions are first-class and reusable: :meth:`Relation.partition` builds
+the hash partition of the rows by a tuple of join variables *once* and
+caches it on the relation (keyed by column positions, so renamed views share
+it), and ``semijoin``/``join`` probe these cached :class:`Partition` objects.
+A relation that is semi-joined or joined on the same columns repeatedly —
+the common case when a batch of queries shares base-atom scans through
+:class:`repro.evaluation.batch.ScanCache` — pays the build pass once.  The
+cache assumes the usual immutability discipline: ``rows`` is never mutated
+after the first partition is built (every operator already returns fresh
+relations instead of aliasing inputs).
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Protocol,
     Sequence,
     Set,
     Tuple,
@@ -43,8 +55,116 @@ from ..datamodel import Atom, Constant, Instance, Term, Variable
 Row = Tuple[Term, ...]
 
 
+class ScanProvider(Protocol):
+    """Anything that can serve base-atom scans (see :meth:`Relation.from_atom`).
+
+    The canonical implementation is :class:`repro.evaluation.batch.ScanCache`,
+    which shares scans and their partitions across a batch of queries.
+    """
+
+    def scan(self, atom: Atom, database: Optional[Instance] = None) -> "Relation":
+        ...
+
+
+class ScanPattern:
+    """The compiled selection/projection plan of one atom scan.
+
+    Shared by :meth:`Relation.from_atom` (compiling from real atom terms)
+    and :class:`repro.evaluation.batch.ScanCache` (compiling from canonical
+    signature slots), so atom-matching semantics live in exactly one place.
+    All positions index into the *fact* tuple.
+    """
+
+    __slots__ = ("variables", "output_positions", "constant_checks", "equality_checks")
+
+    def __init__(
+        self,
+        variables: Tuple[object, ...],
+        output_positions: Tuple[int, ...],
+        constant_checks: Tuple[Tuple[int, Constant], ...],
+        equality_checks: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        self.variables = variables
+        self.output_positions = output_positions
+        self.constant_checks = constant_checks
+        self.equality_checks = equality_checks
+
+    def matches(self, terms: Sequence[Term]) -> bool:
+        """Whether a fact's terms pass the constant and equality selections."""
+        return all(
+            terms[position] == expected for position, expected in self.constant_checks
+        ) and all(
+            terms[position] == terms[first] for position, first in self.equality_checks
+        )
+
+    def project(self, terms: Sequence[Term]) -> Row:
+        """The output row of a matching fact (first occurrence per variable)."""
+        return tuple(terms[position] for position in self.output_positions)
+
+
+def compile_scan_pattern(slots: Sequence[object]) -> ScanPattern:
+    """Compile the scan plan for one atom-shaped position sequence.
+
+    Each slot is either a :class:`Constant` (a selection) or any other
+    hashable value standing for a variable; equal non-constant slots induce
+    repeated-variable equality checks, and the first occurrence of each
+    distinct slot becomes an output column.  ``O(arity)``.
+    """
+    variables: List[object] = []
+    first_position: Dict[object, int] = {}
+    output_positions: List[int] = []
+    constant_checks: List[Tuple[int, Constant]] = []
+    equality_checks: List[Tuple[int, int]] = []
+    for position, slot in enumerate(slots):
+        if isinstance(slot, Constant):
+            constant_checks.append((position, slot))
+        elif slot in first_position:
+            equality_checks.append((position, first_position[slot]))
+        else:
+            first_position[slot] = position
+            output_positions.append(position)
+            variables.append(slot)
+    return ScanPattern(
+        tuple(variables),
+        tuple(output_positions),
+        tuple(constant_checks),
+        tuple(equality_checks),
+    )
+
+
 class SchemaError(ValueError):
     """Raised when an operator is applied to incompatible schemas."""
+
+
+class Partition:
+    """An immutable hash partition of a relation's rows by column positions.
+
+    ``buckets`` maps each key (the tuple of the row's terms at ``positions``)
+    to the list of full rows carrying that key.  Building a partition is one
+    ``O(rows)`` pass; afterwards a semi-join membership probe is ``O(1)`` and
+    a join probe is ``O(bucket)``.  Partitions are built by
+    :meth:`Relation.partition` and cached there, so they must never be
+    mutated after construction.
+    """
+
+    __slots__ = ("positions", "buckets")
+
+    def __init__(self, positions: Tuple[int, ...], rows: Iterable[Row]) -> None:
+        self.positions = positions
+        buckets: Dict[Row, List[Row]] = {}
+        for row in rows:
+            buckets.setdefault(tuple(row[p] for p in positions), []).append(row)
+        self.buckets = buckets
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.buckets
+
+    def get(self, key: Row) -> Sequence[Row]:
+        """The rows carrying ``key`` (empty when none do)."""
+        return self.buckets.get(key, ())
+
+    def __len__(self) -> int:
+        return len(self.buckets)
 
 
 class Relation:
@@ -56,7 +176,7 @@ class Relation:
     schemas compose freely.
     """
 
-    __slots__ = ("schema", "rows", "_positions")
+    __slots__ = ("schema", "rows", "_positions", "_partitions")
 
     def __init__(self, schema: Sequence[Variable], rows: Iterable[Row] = ()) -> None:
         self.schema: Tuple[Variable, ...] = tuple(schema)
@@ -66,6 +186,7 @@ class Relation:
         self._positions: Dict[Variable, int] = {
             variable: index for index, variable in enumerate(self.schema)
         }
+        self._partitions: Dict[Tuple[int, ...], Partition] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -81,40 +202,30 @@ class Relation:
         return cls(schema, [])
 
     @classmethod
-    def from_atom(cls, atom: Atom, database: Instance) -> "Relation":
+    def from_atom(
+        cls, atom: Atom, database: Instance, scans: Optional["ScanProvider"] = None
+    ) -> "Relation":
         """Materialise the matches of one query atom in a single pass.
 
         The schema lists the atom's variables in order of first occurrence;
         constants and repeated variables act as selections and are checked
         per fact, so the scan stays linear in the size of the atom's
         relation.
-        """
-        schema: List[Variable] = []
-        # (position in fact, output position) for the first occurrence of
-        # each variable; (position, expected) checks for constants and for
-        # repeated occurrences.
-        copy_positions: List[Tuple[int, int]] = []
-        constant_checks: List[Tuple[int, Constant]] = []
-        equality_checks: List[Tuple[int, int]] = []
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Constant):
-                constant_checks.append((position, term))
-            elif term in schema:
-                equality_checks.append((position, schema.index(term)))
-            else:
-                copy_positions.append((position, len(schema)))
-                schema.append(term)  # type: ignore[arg-type]
 
+        When ``scans`` is given (any object with a
+        ``scan(atom, database) -> Relation`` method, e.g.
+        :class:`repro.evaluation.batch.ScanCache`), the scan is delegated to
+        it so that identical atoms — across the phases of one evaluator or
+        across a whole batch of queries — are materialised only once.
+        """
+        if scans is not None:
+            return scans.scan(atom, database)
+        pattern = compile_scan_pattern(atom.terms)
         rows: List[Row] = []
         for fact in database.atoms_with_predicate(atom.predicate):
-            terms = fact.terms
-            if any(terms[position] != expected for position, expected in constant_checks):
-                continue
-            row = tuple(terms[position] for position, _ in copy_positions)
-            if any(terms[position] != row[output] for position, output in equality_checks):
-                continue
-            rows.append(row)
-        return cls(schema, rows)
+            if pattern.matches(fact.terms):
+                rows.append(pattern.project(fact.terms))
+        return cls(pattern.variables, rows)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,11 +290,52 @@ class Relation:
         """The join variables, in this relation's schema order."""
         return tuple(v for v in self.schema if v in other._positions)
 
+    def partition(self, variables: Sequence[Variable]) -> Partition:
+        """The hash partition of the rows by ``variables`` (built once).
+
+        Partitions are cached per column-position tuple, so repeated
+        semi-joins/joins against this relation on the same columns — and on
+        any schema view of it (:meth:`with_schema`) — reuse one ``O(rows)``
+        build pass.
+        """
+        positions = tuple(self.position(variable) for variable in variables)
+        part = self._partitions.get(positions)
+        if part is None:
+            part = Partition(positions, self.rows)
+            self._partitions[positions] = part
+        return part
+
+    def with_schema(self, schema: Sequence[Variable]) -> "Relation":
+        """An ``O(1)`` view of this relation under a renamed schema.
+
+        Unlike :meth:`rename`, the view *shares* this relation's row storage
+        and partition cache (column positions are unchanged by renaming, so
+        every cached partition remains valid).  Used by the batch scan cache
+        to serve one materialised scan to many queries under their own
+        variable names; both sides must observe the no-mutation discipline.
+        """
+        schema = tuple(schema)
+        if len(schema) != len(self.schema):
+            raise SchemaError(
+                f"view schema {schema} has arity {len(schema)}, "
+                f"relation has {len(self.schema)}"
+            )
+        if len(set(schema)) != len(schema):
+            raise SchemaError(f"duplicate variable in schema {schema}")
+        view = Relation.__new__(Relation)
+        view.schema = schema
+        view.rows = self.rows
+        view._positions = {variable: index for index, variable in enumerate(schema)}
+        view._partitions = self._partitions
+        return view
+
     def semijoin(self, other: "Relation") -> "Relation":
         """Keep the rows with a matching row in ``other`` — ``self ⋉ other``.
 
-        One hash pass over ``other`` builds the set of shared-variable keys;
-        one pass over ``self`` filters.  Total time ``O(|self| + |other|)``.
+        ``other``'s cached :class:`Partition` on the shared variables supplies
+        the key set (built on first use, ``O(|other|)``); one pass over
+        ``self`` filters.  Total time ``O(|self| + |other|)``, and only
+        ``O(|self|)`` when the partition is already cached.
         """
         shared = self.shared_variables(other)
         if not shared:
@@ -191,17 +343,19 @@ class Relation:
             # fresh relation (never ``self``) so mutating an operator's
             # output can never corrupt its input.
             return Relation(self.schema, self.rows if other.rows else [])
+        partition = other.partition(shared)
         key_of = self._key_function(shared)
-        other_key_of = other._key_function(shared)
-        keys = {other_key_of(row) for row in other.rows}
-        return Relation(self.schema, [row for row in self.rows if key_of(row) in keys])
+        return Relation(
+            self.schema, [row for row in self.rows if key_of(row) in partition]
+        )
 
     def join(self, other: "Relation") -> "Relation":
         """Natural hash join — ``self ⋈ other``.
 
-        ``other`` is hash-partitioned by its shared-variable key; each row of
-        ``self`` probes its bucket.  Time is linear in the operand sizes plus
-        the output size (the cross product when no variable is shared).
+        Each row of ``self`` probes ``other``'s cached partition on the
+        shared variables.  Time is linear in the operand sizes plus the
+        output size (the cross product when no variable is shared), and the
+        ``O(|other|)`` partition pass is skipped when already cached.
         """
         shared = self.shared_variables(other)
         residual_positions = tuple(
@@ -209,18 +363,19 @@ class Relation:
         )
         schema = self.schema + tuple(other.schema[index] for index in residual_positions)
 
-        other_key_of = other._key_function(shared)
-        buckets: Dict[Row, List[Row]] = {}
-        for row in other.rows:
-            buckets.setdefault(other_key_of(row), []).append(
-                tuple(row[index] for index in residual_positions)
-            )
-
-        key_of = self._key_function(shared)
         rows: List[Row] = []
+        if not shared:
+            # Cross product: no partition to build (or cache pointlessly).
+            for row in self.rows:
+                for match in other.rows:
+                    rows.append(row + tuple(match[index] for index in residual_positions))
+            return Relation(schema, rows)
+
+        partition = other.partition(shared)
+        key_of = self._key_function(shared)
         for row in self.rows:
-            for residual in buckets.get(key_of(row), ()):
-                rows.append(row + residual)
+            for match in partition.get(key_of(row)):
+                rows.append(row + tuple(match[index] for index in residual_positions))
         return Relation(schema, rows)
 
     def project(self, variables: Sequence[Variable]) -> "Relation":

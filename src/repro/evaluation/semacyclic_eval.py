@@ -1,6 +1,6 @@
 """Evaluation of semantically acyclic CQs under constraints (Section 7).
 
-Two routes are implemented:
+Three routes are implemented:
 
 * **Reformulate then evaluate** (Proposition 24): compute an acyclic CQ
   ``q'`` with ``q ≡_Σ q'`` (using the SemAc procedures of
@@ -13,12 +13,17 @@ Two routes are implemented:
   chase and no reformulation are needed, and the whole check is polynomial.
   For egd classes whose chase is polynomial (e.g. functional dependencies)
   the same holds after chasing the query first (Proposition 31).
+
+* **Batched evaluation** (:func:`evaluate_batch`): many CQs against one
+  database at once, sharing the phase-1 atom scans and hash partitions
+  through a :class:`repro.evaluation.batch.ScanCache` — the serving-path
+  amortisation for query batches over overlapping predicates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..chase.egd_chase import egd_chase_query
 from ..chase.tgd_chase import chase_query
@@ -26,9 +31,10 @@ from ..datamodel import GroundTerm, Instance, Term
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
+from .batch import BatchEvaluator
 from .cover_game import CoverEngine, instance_covers_database, query_covers_database
 from .generic import membership_generic
-from .relation import Relation
+from .relation import Relation, ScanProvider
 from .yannakakis import YannakakisEvaluator
 
 
@@ -50,11 +56,15 @@ class SemAcEvaluation:
     ) -> "SemAcEvaluation":
         return cls(original, reformulation, YannakakisEvaluator(reformulation))
 
-    def evaluate(self, database: Instance) -> Set[Tuple[Term, ...]]:
+    def evaluate(
+        self, database: Instance, *, scans: Optional[ScanProvider] = None
+    ) -> Set[Tuple[Term, ...]]:
         """Return ``q(D)`` (equal to ``q'(D)`` on every ``D ⊨ Σ``)."""
-        return self._evaluator.evaluate(database)
+        return self._evaluator.evaluate(database, scans=scans)
 
-    def answer_relation(self, database: Instance) -> Relation:
+    def answer_relation(
+        self, database: Instance, *, scans: Optional[ScanProvider] = None
+    ) -> Relation:
         """Return ``q(D)`` as a :class:`Relation` over the free variables.
 
         The relation comes straight from the Yannakakis phase-4 join on the
@@ -62,10 +72,12 @@ class SemAcEvaluation:
         further joins) can stay inside the hash-relation engine instead of
         round-tripping through Python sets of tuples.
         """
-        return self._evaluator.answer_relation(database)
+        return self._evaluator.answer_relation(database, scans=scans)
 
-    def boolean(self, database: Instance) -> bool:
-        return self._evaluator.boolean(database)
+    def boolean(
+        self, database: Instance, *, scans: Optional[ScanProvider] = None
+    ) -> bool:
+        return self._evaluator.boolean(database, scans=scans)
 
 
 def evaluate_via_reformulation(
@@ -87,6 +99,53 @@ def evaluate_via_reformulation(
             f"{query.name} is not semantically acyclic under the given tgds"
         )
     return SemAcEvaluation.from_reformulation(query, reformulation).evaluate(database)
+
+
+def evaluate_batch(
+    queries: Iterable[ConjunctiveQuery],
+    database: Instance,
+    *,
+    tgds: Sequence[TGD] = (),
+    engine: str = "batch",
+    scans: Optional[ScanProvider] = None,
+) -> List[Set[Tuple[Term, ...]]]:
+    """Evaluate a batch of CQs over one database; return one answer set each.
+
+    Each query is routed to the cheapest applicable engine (Yannakakis for
+    acyclic queries, Yannakakis on an acyclic reformulation under ``tgds``
+    via Proposition 24, a greedy hash-join plan otherwise — see
+    :class:`repro.evaluation.batch.BatchEvaluator`).
+
+    ``engine`` selects the phase-1 strategy:
+
+    * ``"batch"`` (default) — all queries share one
+      :class:`~repro.evaluation.batch.ScanCache`, so each distinct
+      (predicate, constant-signature) scan and each hash partition is built
+      at most once for the whole batch;
+    * ``"sequential"`` — the one-query-at-a-time baseline (identical
+      routing, no sharing), kept for benchmarking and differential testing.
+
+    ``scans`` optionally supplies the cache to use with ``engine="batch"``,
+    which amortises the *scan layer* across calls over an unchanged
+    database.  Note that this convenience function re-routes the queries
+    (join trees, and under ``tgds`` the reformulation search — usually the
+    dominant per-query setup cost) on every call; a standing batch should
+    construct one :class:`~repro.evaluation.batch.BatchEvaluator` and call
+    its :meth:`~repro.evaluation.batch.BatchEvaluator.evaluate` repeatedly.
+    """
+    if engine not in ("batch", "sequential"):
+        raise ValueError(
+            f"unknown batch engine {engine!r} (use 'batch' or 'sequential')"
+        )
+    if engine == "sequential" and scans is not None:
+        raise ValueError(
+            "scans= is meaningless with engine='sequential' (the baseline "
+            "shares nothing); drop it or use engine='batch'"
+        )
+    batch = BatchEvaluator(queries, tgds=tgds)
+    if engine == "batch":
+        return batch.evaluate(database, scans=scans)
+    return batch.evaluate_sequential(database)
 
 
 def membership_via_cover_game_guarded(

@@ -20,6 +20,13 @@ implementation kept rows as ``Dict[Variable, Term]`` and compared them with
 nested scans, which made the passes quadratic; it survives as
 :class:`repro.evaluation.yannakakis_dict.DictYannakakisEvaluator` for
 benchmarking and differential testing.)
+
+Phase 1 is injectable: every evaluation entry point accepts a scan provider
+(``scans=``, see :class:`repro.evaluation.relation.ScanProvider`) that serves
+the per-atom base relations instead of rebuilding them with
+:meth:`Relation.from_atom` on every call.  Batched evaluation
+(:mod:`repro.evaluation.batch`) uses this to amortise the atom scans and
+their hash partitions across many queries sharing predicates.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..datamodel import Instance, Term, Variable
 from ..hypergraph import JoinTree, JoinTreeError, build_join_tree, query_connectors
 from ..queries.cq import ConjunctiveQuery
-from .relation import Relation
+from .relation import Relation, ScanProvider
 
 
 class AcyclicityRequired(ValueError):
@@ -43,10 +50,19 @@ class YannakakisEvaluator:
     orders and the per-node carry schemas — is computed once in the
     constructor; :meth:`evaluate` and :meth:`boolean` then only pay the
     per-database cost.
+
+    ``scans`` (constructor default, overridable per call) injects a scan
+    provider for phase 1 — typically a
+    :class:`repro.evaluation.batch.ScanCache` shared by a batch of queries —
+    so the per-atom scans and their partitions are materialised once instead
+    of once per evaluator call.
     """
 
-    def __init__(self, query: ConjunctiveQuery) -> None:
+    def __init__(
+        self, query: ConjunctiveQuery, scans: Optional[ScanProvider] = None
+    ) -> None:
         self.query = query
+        self._scans = scans
         try:
             self.join_tree: JoinTree = build_join_tree(query.body, query_connectors)
         except JoinTreeError as error:
@@ -86,16 +102,21 @@ class YannakakisEvaluator:
 
     # ------------------------------------------------------------------
     def _reduce(
-        self, database: Instance, bottom_up_only: bool = False
+        self,
+        database: Instance,
+        bottom_up_only: bool = False,
+        scans: Optional[ScanProvider] = None,
     ) -> Optional[Dict[int, Relation]]:
         """Phases 1–3; returns the per-node reduced relations or ``None``.
 
         With ``bottom_up_only`` the top-down pass is skipped: a non-empty
-        root after phase 2 already decides Boolean satisfaction.
+        root after phase 2 already decides Boolean satisfaction.  ``scans``
+        overrides the constructor-injected scan provider for phase 1.
         """
+        provider = scans if scans is not None else self._scans
         relations: Dict[int, Relation] = {}
         for node in self.join_tree.nodes():
-            relation = Relation.from_atom(node.atom, database)
+            relation = Relation.from_atom(node.atom, database, provider)
             if relation.is_empty():
                 return None
             relations[node.identifier] = relation
@@ -122,11 +143,15 @@ class YannakakisEvaluator:
         return relations
 
     # ------------------------------------------------------------------
-    def boolean(self, database: Instance) -> bool:
+    def boolean(
+        self, database: Instance, *, scans: Optional[ScanProvider] = None
+    ) -> bool:
         """Return ``True`` iff the (Boolean reading of the) query holds in ``database``."""
-        return self._reduce(database, bottom_up_only=True) is not None
+        return self._reduce(database, bottom_up_only=True, scans=scans) is not None
 
-    def answer_relation(self, database: Instance) -> Relation:
+    def answer_relation(
+        self, database: Instance, *, scans: Optional[ScanProvider] = None
+    ) -> Relation:
         """Return ``q(D)`` as a :class:`Relation` over the distinct free variables.
 
         This is the natural output of the algorithm; :meth:`evaluate` wraps
@@ -138,7 +163,7 @@ class YannakakisEvaluator:
             if variable not in head_schema:
                 head_schema.append(variable)
 
-        relations = self._reduce(database)
+        relations = self._reduce(database, scans=scans)
         if relations is None:
             return Relation.empty(head_schema)
 
@@ -153,16 +178,28 @@ class YannakakisEvaluator:
             partial[identifier] = relation.project(self._carry[identifier])
         return partial[self.join_tree.root].project(head_schema)
 
-    def evaluate(self, database: Instance) -> Set[Tuple[Term, ...]]:
+    def evaluate(
+        self, database: Instance, *, scans: Optional[ScanProvider] = None
+    ) -> Set[Tuple[Term, ...]]:
         """Return the full answer set ``q(D)``."""
-        return self.answer_relation(database).answer_tuples(self.query.head)
+        return self.answer_relation(database, scans=scans).answer_tuples(self.query.head)
 
 
-def evaluate_acyclic(query: ConjunctiveQuery, database: Instance) -> Set[Tuple[Term, ...]]:
+def evaluate_acyclic(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+) -> Set[Tuple[Term, ...]]:
     """One-shot evaluation of an acyclic CQ with Yannakakis' algorithm."""
-    return YannakakisEvaluator(query).evaluate(database)
+    return YannakakisEvaluator(query).evaluate(database, scans=scans)
 
 
-def boolean_acyclic(query: ConjunctiveQuery, database: Instance) -> bool:
+def boolean_acyclic(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+) -> bool:
     """One-shot Boolean evaluation of an acyclic CQ."""
-    return YannakakisEvaluator(query).boolean(database)
+    return YannakakisEvaluator(query).boolean(database, scans=scans)

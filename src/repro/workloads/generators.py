@@ -626,6 +626,65 @@ def cover_game_scaling_workload(
     return query, database
 
 
+def shared_predicate_batch_workload(
+    batch_size: int,
+    size: int = 2000,
+    predicate_count: int = 6,
+    anchor_pool: int = 4,
+    max_rays: int = 3,
+    domain_size: int = 60,
+    seed=0,
+) -> Tuple[List[ConjunctiveQuery], Database]:
+    """``batch_size`` anchored star CQs over a shared predicate pool + one DB.
+
+    The database has ``predicate_count`` binary predicates with
+    ``≈ size / predicate_count`` random facts each over one shared domain.
+    Every query is an *anchored star*: 1..``max_rays`` atoms
+    ``P(a, x)`` sharing one centre variable ``x`` (the head), with each
+    anchor constant ``a`` drawn from a pool of ``anchor_pool`` domain
+    constants and each predicate from the shared pool — the "point lookups
+    joined on a shared key" shape of a serving workload.
+
+    The batch is built so that scan signatures (predicate plus constant
+    pattern, see :func:`repro.evaluation.batch.atom_signature`) repeat
+    heavily: the number of distinct signatures is bounded by
+    ``predicate_count · (anchor_pool + 1)`` no matter how large the batch,
+    while one-at-a-time evaluation pays a full ``O(|R|)`` scan per atom per
+    query.  Because *every* atom is constant-selected, the per-query join
+    work after phase 1 is only the size of the selected buckets
+    (``≈ facts / domain_size``), so the shared scans and partitions of
+    :class:`repro.evaluation.batch.ScanCache` dominate the sequential cost —
+    the regime ``benchmarks/bench_batch_eval.py`` measures, where the
+    batched advantage keeps growing as the batch doubles.
+    """
+    if batch_size < 1:
+        raise ValueError("a batch needs at least one query")
+    rng = _rng(seed)
+    predicates = [Predicate(f"B{i}", 2) for i in range(predicate_count)]
+    domain = [Constant(f"d{i}") for i in range(domain_size)]
+    anchors = domain[: max(1, anchor_pool)]
+
+    database = Database()
+    facts_per_predicate = max(1, size // predicate_count)
+    for predicate in predicates:
+        # Guarantee every anchor has at least one outgoing edge so anchored
+        # atoms are satisfiable, then fill with random pairs.
+        for anchor in anchors:
+            database.add(Atom(predicate, (anchor, rng.choice(domain))))
+        for _ in range(facts_per_predicate):
+            database.add(Atom(predicate, (rng.choice(domain), rng.choice(domain))))
+
+    queries: List[ConjunctiveQuery] = []
+    for index in range(batch_size):
+        centre = Variable(f"x{index}")
+        atoms = [
+            Atom(rng.choice(predicates), (rng.choice(anchors), centre))
+            for _ in range(rng.randint(1, max_rays))
+        ]
+        queries.append(ConjunctiveQuery((centre,), atoms, name=f"batch_q{index}"))
+    return queries, database
+
+
 def yannakakis_scaling_workload(
     size: int,
     layers: int = 4,

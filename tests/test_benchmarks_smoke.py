@@ -112,6 +112,28 @@ def test_cover_game_scaling_runs_at_smoke_sizes(smoke_benchmarks):
         assert row["worklist_time"] > 0 and row["naive_time"] > 0
 
 
+def test_batch_eval_runs_at_smoke_sizes(smoke_benchmarks):
+    """Execute the batched-vs-sequential measurement loop on toy inputs."""
+    module = smoke_benchmarks("bench_batch_eval.py")
+    assert module.BATCHES == module.SMOKE_BATCHES
+    rows = module.run_batches(batch_sizes=[2, 4], size=60, repeats=1)
+    assert [row["batch"] for row in rows] == [2, 4]
+    for row in rows:
+        # run_batches cross-checks batched vs sequential answers internally;
+        # here we only sanity-check the measurement record.
+        assert row["batched_time"] > 0 and row["sequential_time"] > 0
+        assert row["scans_served"] >= row["batch"]
+    # The cache never materialises more than one relation per distinct
+    # signature plus one base relation per predicate (6 in this workload).
+    assert rows[-1]["scans_built"] <= rows[-1]["scans_served"] + 6
+
+
+def test_batch_eval_assertions_are_skipped_in_smoke_mode(smoke_benchmarks):
+    """The timing assertions must not fire on noise-dominated tiny inputs."""
+    module = smoke_benchmarks("bench_batch_eval.py")
+    module.test_batched_evaluation_amortises_scans()
+
+
 def test_cover_game_assertions_are_skipped_in_smoke_mode(smoke_benchmarks):
     """The growth-factor assertions must not fire on tiny inputs — but the
     engine-agreement assertions still must."""

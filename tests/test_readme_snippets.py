@@ -1,0 +1,45 @@
+"""Execute the fenced ``python`` blocks of README.md so the docs can't rot.
+
+Every block must be self-contained (its own imports, no state from earlier
+blocks) and fast — the blocks run inside the tier-1 suite on every push, and
+``make docs-check`` runs exactly this module.  A README example that stops
+working fails CI instead of silently misleading readers.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+_FENCED_PYTHON = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path):
+    """The fenced ``python`` code blocks of a markdown file, in order."""
+    return _FENCED_PYTHON.findall(path.read_text(encoding="utf-8"))
+
+
+BLOCKS = python_blocks(README)
+
+
+def test_readme_exists_and_has_python_examples():
+    assert README.is_file()
+    assert len(BLOCKS) >= 2, "README.md should demonstrate the library in code"
+
+
+def test_readme_names_the_tier1_command():
+    text = README.read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in text
+    assert "BENCH_SMOKE=1" in text
+
+
+@pytest.mark.parametrize("index", range(len(BLOCKS)))
+def test_readme_python_block_runs(index):
+    block = BLOCKS[index]
+    code = compile(block, f"README.md[python block {index}]", "exec")
+    namespace = {"__name__": f"__readme_block_{index}__"}
+    exec(code, namespace)  # noqa: S102 — executing our own documentation
