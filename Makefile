@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test docs-check bench bench-smoke
+.PHONY: test docs-check bench bench-smoke bench-enum
 
 ## Tier-1 verify: the command every PR must keep green.
 test:
@@ -20,3 +20,7 @@ bench:
 ## Benchmark suite at smoke sizes (seconds; what tier-1 also exercises).
 bench-smoke:
 	BENCH_SMOKE=1 $(PYTEST) benchmarks/ -q
+
+## Streaming enumeration: time-to-first-answer / delay vs materialising.
+bench-enum:
+	$(PYTEST) benchmarks/bench_enumeration.py -s

@@ -1,10 +1,14 @@
 """Evaluation engines: Yannakakis, generic join, cover game, SemAcEval, batch.
 
 All set-at-a-time engines (Yannakakis and the plan executor) run on the
-hash-partitioned :class:`~repro.evaluation.relation.Relation` layer; the
-original assignment-dict Yannakakis survives in
-:mod:`repro.evaluation.yannakakis_dict` as a benchmark baseline and
-differential-testing oracle.
+hash-partitioned :class:`~repro.evaluation.relation.Relation` layer.  Every
+route also has a *streaming* face: :func:`evaluate_iter` (and
+:meth:`YannakakisEvaluator.iter_answers`, :func:`iter_with_plan`,
+:meth:`BatchEvaluator.evaluate_iter`) yields distinct answers one at a time
+instead of materialising the output — the ``LIMIT``-style serving scenarios
+of the ROADMAP.  The original assignment-dict Yannakakis is a test-only
+differential oracle under ``tests/helpers/yannakakis_dict.py`` and is no
+longer part of this package's API.
 
 Batches of queries over one database go through :func:`evaluate_batch`
 (:mod:`repro.evaluation.batch`), which shares the phase-1 atom scans and
@@ -21,7 +25,6 @@ from .yannakakis import (
     boolean_acyclic,
     evaluate_acyclic,
 )
-from .yannakakis_dict import DictYannakakisEvaluator
 from .generic import boolean_generic, evaluate_generic, membership_generic
 from .join_plans import (
     JoinPlan,
@@ -29,8 +32,11 @@ from .join_plans import (
     PlanStep,
     boolean_with_plan,
     estimate_cardinality,
+    estimated_intermediate_sizes,
     evaluate_with_plan,
     execute_plan,
+    iter_plan_answers,
+    iter_with_plan,
     plan_by_cardinality,
     plan_greedy,
     plan_in_query_order,
@@ -47,6 +53,7 @@ from .semacyclic_eval import (
     NotSemanticallyAcyclic,
     SemAcEvaluation,
     evaluate_batch,
+    evaluate_iter,
     evaluate_via_reformulation,
     membership_baseline,
     membership_via_chase_and_cover_game_tgds,
@@ -59,7 +66,6 @@ __all__ = [
     "BatchEvaluator",
     "CoverEngine",
     "CoverGameResult",
-    "DictYannakakisEvaluator",
     "JoinPlan",
     "NotSemanticallyAcyclic",
     "Partition",
@@ -76,15 +82,19 @@ __all__ = [
     "boolean_generic",
     "boolean_with_plan",
     "estimate_cardinality",
+    "estimated_intermediate_sizes",
     "evaluate_acyclic",
     "evaluate_batch",
     "evaluate_generic",
+    "evaluate_iter",
     "evaluate_via_reformulation",
     "evaluate_with_plan",
     "execute_plan",
     "existential_one_cover",
     "existential_one_cover_naive",
     "instance_covers_database",
+    "iter_plan_answers",
+    "iter_with_plan",
     "membership_baseline",
     "membership_generic",
     "membership_via_chase_and_cover_game_tgds",

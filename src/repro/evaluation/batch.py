@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import (
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -48,7 +49,7 @@ from typing import (
 from ..datamodel import Atom, Constant, Instance, Predicate, Term, Variable
 from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
-from .join_plans import evaluate_with_plan
+from .join_plans import evaluate_with_plan, iter_with_plan
 from .relation import Relation, Row, ScanProvider, compile_scan_pattern
 from .yannakakis import AcyclicityRequired, YannakakisEvaluator
 
@@ -298,6 +299,43 @@ class BatchEvaluator:
             self._evaluate_one(query, route, database, scans)
             for query, route in zip(self.queries, self._routes)
         ]
+
+    def evaluate_iter(
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+        limit: Optional[int] = None,
+    ) -> List[Iterator[Tuple[Term, ...]]]:
+        """Per-query answer *generators* over one shared :class:`ScanCache`.
+
+        The streaming face of :meth:`evaluate`: the list is aligned with
+        ``self.queries`` and each element lazily streams that query's
+        distinct answers — Yannakakis' streaming phase 4 for the
+        ``"yannakakis"``/``"reformulated"`` routes, the block-streamed final
+        join for the ``"plan"`` route.  Nothing touches the database until a
+        generator is pulled; the generators may be consumed in any order and
+        interleaved, and they all draw their phase-1 scans from the same
+        cache, so whichever generator first needs a scan signature pays for
+        it and the rest reuse it.  ``limit`` applies per query.
+        """
+        if scans is None:
+            scans = ScanCache(database)
+
+        def stream_plan(query: ConjunctiveQuery) -> Iterator[Tuple[Term, ...]]:
+            # Wrapped in a generator so even the *planning* (which scans
+            # per-predicate cardinalities) waits for the first pull.
+            yield from iter_with_plan(query, database, scans=scans, limit=limit)
+
+        iterators: List[Iterator[Tuple[Term, ...]]] = []
+        for query, (kind, evaluator) in zip(self.queries, self._routes):
+            if evaluator is not None:  # "yannakakis" and "reformulated"
+                iterators.append(
+                    evaluator.iter_answers(database, scans=scans, limit=limit)
+                )
+            else:
+                iterators.append(stream_plan(query))
+        return iterators
 
     def evaluate_sequential(self, database: Instance) -> List[Set[Tuple[Term, ...]]]:
         """The per-query baseline: identical routing, no shared scans.

@@ -9,8 +9,8 @@ re-touches each (image, neighbour, neighbour-image) triple, so a cascade of
 deletions costs ``O(rounds · Σ |images|²)`` where the worklist engine of
 :mod:`repro.evaluation.cover_game` touches each support pair O(1) times.
 
-The naive implementation is kept for two purposes only (mirroring
-:mod:`repro.evaluation.yannakakis_dict`):
+The naive implementation is kept for two purposes only (mirroring the
+dict-Yannakakis oracle in ``tests/helpers/yannakakis_dict.py``):
 
 * it is the *performance baseline* of ``benchmarks/bench_cover_game_scaling``
   (the benchmark demonstrates the growth-rate gap per database doubling);

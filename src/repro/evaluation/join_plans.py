@@ -21,11 +21,11 @@ the real win" story honest by comparing against a non-strawman baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..datamodel import Atom, Constant, Instance, Term, Variable
 from ..queries.cq import ConjunctiveQuery
-from .relation import Relation, ScanProvider
+from .relation import Relation, Row, ScanProvider
 
 
 # ----------------------------------------------------------------------
@@ -102,6 +102,25 @@ def estimate_cardinality(atom: Atom, database: Instance) -> int:
     for _ in range(constraints):
         base = max(1, base // 10) if base else 0
     return base
+
+
+def estimated_intermediate_sizes(plan: JoinPlan) -> List[int]:
+    """The planner's estimate of each step's intermediate-result size.
+
+    The model is deliberately the crudest one consistent with the per-atom
+    estimates: full independence, i.e. the running product of the per-step
+    cardinality estimates.  :class:`PlanExecution.intermediate_sizes` records
+    what the executor actually observed, so the pair seeds the cost-model
+    calibration the ROADMAP asks for — ``tests/test_plan_calibration.py``
+    tracks the rank correlation between the two so that planner changes
+    cannot silently regress it.
+    """
+    estimates: List[int] = []
+    running = 1
+    for step in plan.steps:
+        running *= max(1, step.estimated_cardinality)
+        estimates.append(running)
+    return estimates
 
 
 def plan_in_query_order(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
@@ -201,6 +220,78 @@ def execute_plan(
     return PlanExecution(answers=answers, intermediate_sizes=intermediate_sizes)
 
 
+def iter_plan_answers(
+    plan: JoinPlan,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[Term, ...]]:
+    """Block-stream a plan's answers: materialise the prefix, stream the tail.
+
+    The first ``len(plan) - 1`` steps are executed exactly as in
+    :func:`execute_plan` (materialised hash joins); the *final* join is not
+    materialised — each prefix row probes the last relation's cached
+    partition and the distinct head projections are yielded as they are
+    found.  This is the plan route's fallback form of streaming: the
+    time-to-first-answer still pays for the whole prefix (a cyclic query has
+    no join tree to compile cursors over), but the final — typically
+    output-dominating — join and the head deduplication stop early under
+    ``limit``-style consumption.
+
+    The set of yielded tuples equals ``execute_plan(...).answers`` exactly,
+    with no tuple yielded twice.
+    """
+    if limit is not None and limit <= 0:
+        return
+    if not plan.steps:
+        if not plan.query.body:
+            yield ()  # the nullary query: one empty answer over any database
+        return
+
+    prefix = Relation.unit()
+    for step in plan.steps[:-1]:
+        prefix = prefix.join(Relation.from_atom(step.atom, database, scans))
+        if prefix.is_empty():
+            return
+    last = Relation.from_atom(plan.steps[-1].atom, database, scans)
+    if last.is_empty():
+        return
+
+    prefix_variables = set(prefix.schema)
+    head_plan = tuple(
+        (True, prefix.position(variable))
+        if variable in prefix_variables
+        else (False, last.position(variable))
+        for variable in plan.query.head
+    )
+    shared = prefix.shared_variables(last)
+    key_positions = tuple(prefix.position(variable) for variable in shared)
+    partition = last.partition(shared) if shared else None
+
+    seen: Set[Tuple[Term, ...]] = set()
+    produced = 0
+    for row in prefix.rows:
+        if partition is not None:
+            matches: Sequence[Row] = partition.get(
+                tuple(row[p] for p in key_positions)
+            )
+        else:
+            matches = last.rows  # degenerate final step: cross product
+        for match in matches:
+            answer = tuple(
+                row[position] if from_prefix else match[position]
+                for from_prefix, position in head_plan
+            )
+            if answer in seen:
+                continue
+            seen.add(answer)
+            yield answer
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
 def evaluate_with_plan(
     query: ConjunctiveQuery,
     database: Instance,
@@ -213,6 +304,19 @@ def evaluate_with_plan(
     return execute_plan(plan, database, scans=scans).answers
 
 
+def iter_with_plan(
+    query: ConjunctiveQuery,
+    database: Instance,
+    planner=plan_greedy,
+    *,
+    scans: Optional[ScanProvider] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[Term, ...]]:
+    """Plan ``query`` and block-stream its answers (see :func:`iter_plan_answers`)."""
+    plan = planner(query, database)
+    return iter_plan_answers(plan, database, scans=scans, limit=limit)
+
+
 def boolean_with_plan(
     query: ConjunctiveQuery,
     database: Instance,
@@ -220,5 +324,11 @@ def boolean_with_plan(
     *,
     scans: Optional[ScanProvider] = None,
 ) -> bool:
-    """Boolean evaluation through a join plan."""
-    return bool(evaluate_with_plan(query, database, planner=planner, scans=scans))
+    """Boolean evaluation through a join plan (first-answer short-circuit).
+
+    The streamed final join stops at the first answer, so only the plan's
+    prefix is ever materialised in full.
+    """
+    for _ in iter_with_plan(query, database, planner=planner, scans=scans, limit=1):
+        return True
+    return False

@@ -145,12 +145,27 @@ class Partition:
     a join probe is ``O(bucket)``.  Partitions are built by
     :meth:`Relation.partition` and cached there, so they must never be
     mutated after construction.
+
+    Bucket probes (:meth:`get` calls) are counted, per instance (``probes``)
+    and process-wide (``Partition.total_probes``).  The counters exist so
+    the streaming-enumeration tests and ``benchmarks/bench_enumeration.py``
+    can *prove* bounded work — e.g. that the first answer of
+    :meth:`repro.evaluation.yannakakis.YannakakisEvaluator.iter_answers`
+    costs O(join-tree) probes while the materialising phase 4 pays one probe
+    per intermediate row — without resorting to wall-clock timing.
+    Membership checks (``key in partition``, the semi-join path) are
+    deliberately *not* counted: the counters isolate enumeration/join work
+    from the reduction passes.
     """
 
-    __slots__ = ("positions", "buckets")
+    __slots__ = ("positions", "buckets", "probes")
+
+    #: Process-wide count of :meth:`get` probes across all partitions.
+    total_probes: int = 0
 
     def __init__(self, positions: Tuple[int, ...], rows: Iterable[Row]) -> None:
         self.positions = positions
+        self.probes = 0
         buckets: Dict[Row, List[Row]] = {}
         for row in rows:
             buckets.setdefault(tuple(row[p] for p in positions), []).append(row)
@@ -161,6 +176,8 @@ class Partition:
 
     def get(self, key: Row) -> Sequence[Row]:
         """The rows carrying ``key`` (empty when none do)."""
+        self.probes += 1
+        Partition.total_probes += 1
         return self.buckets.get(key, ())
 
     def __len__(self) -> int:

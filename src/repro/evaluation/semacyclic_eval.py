@@ -23,7 +23,7 @@ Three routes are implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..chase.egd_chase import egd_chase_query
 from ..chase.tgd_chase import chase_query
@@ -34,8 +34,9 @@ from ..queries.cq import ConjunctiveQuery
 from .batch import BatchEvaluator
 from .cover_game import CoverEngine, instance_covers_database, query_covers_database
 from .generic import membership_generic
+from .join_plans import iter_with_plan
 from .relation import Relation, ScanProvider
-from .yannakakis import YannakakisEvaluator
+from .yannakakis import AcyclicityRequired, YannakakisEvaluator
 
 
 class NotSemanticallyAcyclic(ValueError):
@@ -74,6 +75,22 @@ class SemAcEvaluation:
         """
         return self._evaluator.answer_relation(database, scans=scans)
 
+    def iter_answers(
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[Tuple[Term, ...]]:
+        """Stream ``q(D)`` one answer at a time through the reformulation.
+
+        Delegates to the streaming phase 4 of the underlying Yannakakis
+        evaluator (:meth:`~repro.evaluation.yannakakis.YannakakisEvaluator
+        .iter_answers`), so the first answer arrives after the semi-join
+        passes instead of after the whole output.
+        """
+        return self._evaluator.iter_answers(database, scans=scans, limit=limit)
+
     def boolean(
         self, database: Instance, *, scans: Optional[ScanProvider] = None
     ) -> bool:
@@ -99,6 +116,68 @@ def evaluate_via_reformulation(
             f"{query.name} is not semantically acyclic under the given tgds"
         )
     return SemAcEvaluation.from_reformulation(query, reformulation).evaluate(database)
+
+
+def evaluate_iter(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    tgds: Sequence[TGD] = (),
+    engine: str = "auto",
+    scans: Optional[ScanProvider] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[Term, ...]]:
+    """Stream the distinct answers of ``q(D)`` one tuple at a time.
+
+    The streaming counterpart of the set-returning entry points: answers are
+    produced incrementally (``LIMIT``-style consumers simply stop pulling),
+    and ``set(evaluate_iter(...))`` always equals the corresponding full
+    evaluation.  ``engine`` selects the route:
+
+    * ``"auto"`` (default) — the same routing as
+      :class:`~repro.evaluation.batch.BatchEvaluator`: Yannakakis' streaming
+      phase 4 for acyclic queries, Yannakakis on an acyclic reformulation
+      when ``tgds`` make the query semantically acyclic (Proposition 24),
+      and otherwise a greedy join plan with its final join block-streamed;
+    * ``"yannakakis"`` — require the acyclic route
+      (raises :class:`~repro.evaluation.yannakakis.AcyclicityRequired`);
+    * ``"reformulation"`` — require the Proposition 24 route (raises
+      :class:`NotSemanticallyAcyclic` when ``tgds`` admit no acyclic
+      reformulation);
+    * ``"plan"`` — force the block-streaming plan route.
+
+    ``limit`` caps the number of answers at ``min(limit, |q(D)|)``; ``scans``
+    injects a shared scan provider (e.g. a
+    :class:`~repro.evaluation.batch.ScanCache`) for phase 1.  Routing (join
+    tree / reformulation search / planning) happens eagerly at call time, so
+    route errors surface here rather than at the first ``next()``.
+    """
+    if engine not in ("auto", "yannakakis", "reformulation", "plan"):
+        raise ValueError(
+            f"unknown streaming engine {engine!r} "
+            "(use 'auto', 'yannakakis', 'reformulation' or 'plan')"
+        )
+    if engine in ("auto", "yannakakis"):
+        try:
+            evaluator = YannakakisEvaluator(query)
+        except AcyclicityRequired:
+            if engine == "yannakakis":
+                raise
+        else:
+            return evaluator.iter_answers(database, scans=scans, limit=limit)
+    if engine in ("auto", "reformulation") and (tgds or engine == "reformulation"):
+        from ..core.semantic_acyclicity import find_acyclic_reformulation_tgds
+
+        reformulation = find_acyclic_reformulation_tgds(query, tgds)
+        if reformulation is not None:
+            return YannakakisEvaluator(reformulation).iter_answers(
+                database, scans=scans, limit=limit
+            )
+        if engine == "reformulation":
+            raise NotSemanticallyAcyclic(
+                f"{query.name} is not semantically acyclic under the given tgds"
+            )
+    return iter_with_plan(query, database, scans=scans, limit=limit)
 
 
 def evaluate_batch(

@@ -1,202 +1,54 @@
-"""The original assignment-dict implementation of Yannakakis' algorithm.
+"""Compatibility shim: the dict evaluator is now a test-only oracle.
 
-This module preserves the first-generation evaluator that represented every
-row as a ``Dict[Variable, Term]`` and decided each semi-join with a nested
-``any(_compatible(...))`` scan.  That scan is **quadratic** in the database
-size (every row of a node is compared against every row of the child in the
-worst case), which silently negated the linear-time guarantee the algorithm
-is famous for.  The production evaluator now lives in
-:mod:`repro.evaluation.yannakakis` and runs on the hash-partitioned
-:class:`repro.evaluation.relation.Relation` engine.
+The assignment-dict Yannakakis implementation was demoted out of the
+production package — it exists solely to keep the hash-relation engine
+honest, so it lives with the tests: ``tests/helpers/yannakakis_dict.py``.
+It is no longer exported from :mod:`repro.evaluation`.
 
-The dict implementation is kept for two purposes only:
-
-* it is the *performance baseline* of ``benchmarks/bench_yannakakis_scaling``
-  (the benchmark demonstrates the quadratic-vs-linear gap);
-* it is an independent *oracle* for the differential tests — two unrelated
-  implementations agreeing on randomized workloads is strong evidence for
-  both.
-
-One genuine bug of the original has been fixed here as well: deduplication
-used to key projected rows on ``(variable.name, str(term))``, which
-conflates distinct terms with equal string forms (``Constant(1)`` vs
-``Constant("1")``, or a ``Constant`` and a ``Null`` sharing a name) and
-silently merged distinct partial tuples.  Terms are hashable — the key is
-now the term objects themselves.
+This module keeps the *historical import path*
+(``repro.evaluation.yannakakis_dict.DictYannakakisEvaluator``) working from
+a source checkout, because ``benchmarks/bench_yannakakis_scaling.py`` still
+times the quadratic oracle as its baseline.  Outside a checkout (an
+installed package without the ``tests/`` tree) the import fails with a
+pointer to the new location — by design: no production code path may depend
+on the oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+import importlib.util
+import sys
+from pathlib import Path
 
-from ..datamodel import Atom, Constant, Instance, Term, Variable
-from ..hypergraph import JoinTree, JoinTreeError, build_join_tree, query_connectors
-from ..queries.cq import ConjunctiveQuery
-from .yannakakis import AcyclicityRequired
-
-
-Assignment = Dict[Variable, Term]
+_HELPER_PATH = (
+    Path(__file__).resolve().parents[3] / "tests" / "helpers" / "yannakakis_dict.py"
+)
+_MODULE_NAME = "repro_tests_yannakakis_dict_oracle"
 
 
-def _atom_assignments(atom: Atom, database: Instance) -> List[Assignment]:
-    """All ways of matching a single query atom against the database."""
-    assignments: List[Assignment] = []
-    for fact in database.atoms_with_predicate(atom.predicate):
-        mapping: Assignment = {}
-        compatible = True
-        for query_term, data_term in zip(atom.terms, fact.terms):
-            if isinstance(query_term, Constant):
-                if query_term != data_term:
-                    compatible = False
-                    break
-            else:
-                bound = mapping.get(query_term)  # type: ignore[arg-type]
-                if bound is None:
-                    mapping[query_term] = data_term  # type: ignore[index]
-                elif bound != data_term:
-                    compatible = False
-                    break
-        if compatible:
-            assignments.append(mapping)
-    return assignments
+def _load_oracle():
+    loaded = sys.modules.get(_MODULE_NAME)
+    if loaded is not None:
+        return loaded
+    if not _HELPER_PATH.is_file():
+        raise ImportError(
+            "the assignment-dict Yannakakis oracle moved to "
+            "tests/helpers/yannakakis_dict.py and is only available from a "
+            f"source checkout (looked at {_HELPER_PATH})"
+        )
+    spec = importlib.util.spec_from_file_location(_MODULE_NAME, _HELPER_PATH)
+    module = importlib.util.module_from_spec(spec)
+    # Registered before execution: @dataclass resolves the defining module
+    # through sys.modules.
+    sys.modules[_MODULE_NAME] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(_MODULE_NAME, None)
+        raise
+    return module
 
 
-def _compatible(left: Assignment, right: Assignment, shared: Iterable[Variable]) -> bool:
-    return all(left[variable] == right[variable] for variable in shared)
+DictYannakakisEvaluator = _load_oracle().DictYannakakisEvaluator
 
-
-@dataclass
-class _NodeRelation:
-    variables: FrozenSet[Variable]
-    assignments: List[Assignment]
-
-
-class DictYannakakisEvaluator:
-    """The seed evaluator: correct answers, quadratic semi-join passes."""
-
-    def __init__(self, query: ConjunctiveQuery) -> None:
-        self.query = query
-        try:
-            self.join_tree: JoinTree = build_join_tree(query.body, query_connectors)
-        except JoinTreeError as error:
-            raise AcyclicityRequired(str(error)) from error
-        self._node_variables: Dict[int, FrozenSet[Variable]] = {
-            node.identifier: frozenset(node.atom.variables())
-            for node in self.join_tree.nodes()
-        }
-
-    # ------------------------------------------------------------------
-    def _reduce(self, database: Instance) -> Optional[Dict[int, _NodeRelation]]:
-        """Phases 1–3; returns per-node reduced relations or ``None`` if empty."""
-        relations: Dict[int, _NodeRelation] = {}
-        for node in self.join_tree.nodes():
-            assignments = _atom_assignments(node.atom, database)
-            if not assignments:
-                return None
-            relations[node.identifier] = _NodeRelation(
-                self._node_variables[node.identifier], assignments
-            )
-
-        # Bottom-up semi-joins (nested loop: quadratic by design, see module
-        # docstring).
-        for identifier in self.join_tree.bottom_up_order():
-            for child in self.join_tree.children(identifier):
-                shared = relations[identifier].variables & relations[child].variables
-                child_rows = relations[child].assignments
-                kept = [
-                    row
-                    for row in relations[identifier].assignments
-                    if any(_compatible(row, other, shared) for other in child_rows)
-                ]
-                relations[identifier].assignments = kept
-                if not kept:
-                    return None
-
-        # Top-down semi-joins.
-        for identifier in self.join_tree.top_down_order():
-            parent = self.join_tree.parent(identifier)
-            if parent is None:
-                continue
-            shared = relations[identifier].variables & relations[parent].variables
-            parent_rows = relations[parent].assignments
-            kept = [
-                row
-                for row in relations[identifier].assignments
-                if any(_compatible(row, other, shared) for other in parent_rows)
-            ]
-            relations[identifier].assignments = kept
-            if not kept:
-                return None
-        return relations
-
-    # ------------------------------------------------------------------
-    def boolean(self, database: Instance) -> bool:
-        """Return ``True`` iff the (Boolean reading of the) query holds in ``database``."""
-        return self._reduce(database) is not None
-
-    def evaluate(self, database: Instance) -> Set[Tuple[Term, ...]]:
-        """Return the full answer set ``q(D)``."""
-        relations = self._reduce(database)
-        if relations is None:
-            return set()
-        free_variables = set(self.query.head)
-
-        # For every node, the variables that must be carried upward: free
-        # variables of its subtree plus the variables shared with the parent.
-        carry: Dict[int, Set[Variable]] = {}
-        for identifier in self.join_tree.bottom_up_order():
-            wanted = (self._node_variables[identifier] & free_variables) | set()
-            for child in self.join_tree.children(identifier):
-                wanted |= carry[child] & (
-                    free_variables
-                    | (self._node_variables[identifier] & self._node_variables[child])
-                )
-                wanted |= carry[child] & free_variables
-            parent = self.join_tree.parent(identifier)
-            if parent is not None:
-                wanted |= self._node_variables[identifier] & self._node_variables[parent]
-            carry[identifier] = wanted
-
-        # Bottom-up projection joins: each node produces partial tuples over
-        # carry[node], combining its own rows with its children's results.
-        partial: Dict[int, List[Assignment]] = {}
-        for identifier in self.join_tree.bottom_up_order():
-            rows = relations[identifier].assignments
-            results: List[Assignment] = []
-            children = self.join_tree.children(identifier)
-            for row in rows:
-                stack: List[Tuple[int, Assignment]] = [(0, dict(row))]
-                while stack:
-                    child_index, accumulated = stack.pop()
-                    if child_index == len(children):
-                        projected = {
-                            variable: accumulated[variable]
-                            for variable in carry[identifier]
-                            if variable in accumulated
-                        }
-                        results.append(projected)
-                        continue
-                    child = children[child_index]
-                    for child_row in partial[child]:
-                        if all(
-                            accumulated.get(variable, child_row.get(variable))
-                            == child_row.get(variable, accumulated.get(variable))
-                            for variable in set(accumulated) & set(child_row)
-                        ):
-                            merged = dict(accumulated)
-                            merged.update(child_row)
-                            stack.append((child_index + 1, merged))
-            # Deduplicate projected rows, keyed on the term objects (not
-            # their string forms — see module docstring).
-            unique: Dict[Tuple, Assignment] = {}
-            for row in results:
-                key = tuple(sorted(row.items(), key=lambda item: item[0].name))
-                unique[key] = row
-            partial[identifier] = list(unique.values())
-
-        answers: Set[Tuple[Term, ...]] = set()
-        for row in partial[self.join_tree.root]:
-            if all(variable in row for variable in free_variables):
-                answers.add(tuple(row[variable] for variable in self.query.head))
-        return answers
+__all__ = ["DictYannakakisEvaluator"]

@@ -685,6 +685,64 @@ def shared_predicate_batch_workload(
     return queries, database
 
 
+def wide_output_workload(
+    rays: int,
+    width: int = 24,
+    decoys: Optional[int] = None,
+    seed=0,
+    predicate_prefix: str = "W",
+) -> Tuple[ConjunctiveQuery, Database]:
+    """A free-star CQ whose output is huge relative to its database.
+
+    The query is ``q(x_1, …, x_rays) :- W1(c, x_1), …, Wrays(c, x_rays)``
+    (acyclic: a star joined on the centre variable ``c``).  The database has
+    one *hub* constant with ``width`` outgoing edges per ray predicate, so
+    the answer set is the full cross product of the rays — exactly
+    ``width ** rays`` tuples out of only ``rays · width`` hub facts.  Each
+    ray additionally gets ``decoys`` (default ``width``) edges out of decoy
+    centres that are missing from the *other* rays, so the semi-join passes
+    have genuine pruning work and only the hub survives.
+
+    This is the wide-output regime the streaming enumerator exists for: a
+    materialising phase 4 pays for all ``width ** rays`` answers before
+    returning the first one, while
+    :meth:`~repro.evaluation.yannakakis.YannakakisEvaluator.iter_answers`
+    produces the first answer after the (linear) reduction passes plus
+    O(rays) bucket probes — see ``benchmarks/bench_enumeration.py``.
+    Growing ``rays`` at fixed ``width`` scales the output geometrically
+    while the database stays essentially constant.
+    """
+    if rays < 2:
+        raise ValueError("a wide-output star needs at least 2 rays")
+    if width < 1:
+        raise ValueError("width must be positive")
+    if decoys is None:
+        decoys = width
+    rng = _rng(seed)
+    hub = Constant("hub")
+    database = Database()
+    predicates = [Predicate(f"{predicate_prefix}{i + 1}", 2) for i in range(rays)]
+    for ray, predicate in enumerate(predicates):
+        for j in range(width):
+            database.add(Atom(predicate, (hub, Constant(f"t{ray}_{j}"))))
+        # Decoy centres appear in this ray only, so they die in the
+        # semi-join with any other ray.
+        for k in range(decoys):
+            database.add(
+                Atom(
+                    predicate,
+                    (Constant(f"decoy{ray}_{k}"), Constant(f"u{ray}_{rng.randrange(width)}")),
+                )
+            )
+    centre = Variable("c")
+    head = tuple(Variable(f"x{i + 1}") for i in range(rays))
+    body = [
+        Atom(predicate, (centre, variable))
+        for predicate, variable in zip(predicates, head)
+    ]
+    return ConjunctiveQuery(head, body, name=f"wide_{rays}x{width}"), database
+
+
 def yannakakis_scaling_workload(
     size: int,
     layers: int = 4,

@@ -1,0 +1,8 @@
+"""Test-only helpers: legacy oracles and shared workload builders.
+
+Modules under this package are *not* part of the library.  They exist so
+that the differential tests (and, via the compatibility shim in
+``src/repro/evaluation/yannakakis_dict.py``, the scaling benchmark) can
+keep exercising independent baseline implementations without those
+baselines living in — or being importable from — the production package.
+"""

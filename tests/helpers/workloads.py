@@ -1,0 +1,97 @@
+"""Randomized (query, database) builders shared by the differential suites.
+
+Kept here (not in ``repro.workloads``) because the injection knobs — how
+often constants replace variables, how heads repeat variables — are test
+policy, tuned to hit the corners where evaluator implementations have
+historically disagreed (string-keyed dedup, constant selections, repeated
+head variables), not library functionality.
+"""
+
+import random
+from typing import Tuple
+
+from repro.datamodel import Atom, Database
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.generators import (
+    random_acyclic_query,
+    random_database,
+    random_schema,
+)
+
+
+def randomized_acyclic_workload(
+    seed: int,
+    constant_rate: float = 0.15,
+    max_head: int = 3,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """An acyclic CQ (possibly with constants and a repeated-variable head)
+    plus a random database over the same schema.
+
+    ``constant_rate`` is the per-position probability of replacing a
+    variable with a database constant (a selection); the head draws up to
+    ``max_head`` variables *with repetition*.  Note the constant injection
+    can, in rare corners, make the variable hypergraph cyclic — callers
+    evaluating with an acyclicity-requiring engine must be prepared to skip
+    those seeds.
+    """
+    rng = random.Random(seed)
+    schema = random_schema(
+        seed=rng.random(), predicate_count=rng.randint(2, 4), max_arity=rng.randint(1, 3)
+    )
+    database = random_database(
+        seed=rng.random(),
+        schema=schema,
+        facts_per_predicate=rng.randint(5, 25),
+        domain_size=rng.randint(3, 10),
+    )
+    query = random_acyclic_query(
+        seed=rng.random(), schema=schema, atom_count=rng.randint(1, 6)
+    )
+
+    # Inject database constants into some atom positions (selections).
+    domain = sorted(database.constants(), key=str)
+    body = []
+    for atom in query.body:
+        terms = list(atom.terms)
+        for position in range(len(terms)):
+            if domain and rng.random() < constant_rate:
+                terms[position] = rng.choice(domain)
+        body.append(Atom(atom.predicate, tuple(terms)))
+
+    # A head over the surviving variables, with repetition allowed.
+    variables = sorted({v for atom in body for v in atom.variables()}, key=str)
+    head = tuple(
+        rng.choice(variables) for _ in range(rng.randint(0, min(max_head, len(variables))))
+    ) if variables else ()
+    return ConjunctiveQuery(head, body, name=f"diff_{seed}"), database
+
+
+def randomized_cyclic_workload(seed: int) -> Tuple[ConjunctiveQuery, Database]:
+    """A cyclic CQ (a triangle with a free, sometimes repeated head) plus a
+    random database — the workload for the plan route, which the acyclic
+    engines refuse."""
+    from repro.datamodel import Predicate, Variable
+
+    rng = random.Random(seed)
+    schema = random_schema(
+        seed=rng.random(), predicate_count=rng.randint(1, 3), max_arity=2
+    )
+    binary = [p for p in schema.predicates() if p.arity == 2]
+    if not binary:
+        binary = [Predicate("E", 2)]
+    database = random_database(
+        seed=rng.random(),
+        schema=schema,
+        facts_per_predicate=rng.randint(5, 20),
+        domain_size=rng.randint(3, 8),
+    )
+    predicate = rng.choice(binary)
+    x, y, z = Variable("tx"), Variable("ty"), Variable("tz")
+    body = [
+        Atom(predicate, (x, y)),
+        Atom(predicate, (y, z)),
+        Atom(predicate, (z, x)),
+    ]
+    head_pool: Tuple[Tuple[object, ...], ...] = ((), (x,), (x, z), (x, x, y))
+    head = head_pool[rng.randrange(len(head_pool))]
+    return ConjunctiveQuery(head, body, name=f"cyc_{seed}"), database

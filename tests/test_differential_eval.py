@@ -5,8 +5,8 @@ databases:
 
 * the generic backtracking evaluator (``evaluate_generic`` — the oracle);
 * the hash-relation Yannakakis evaluator (``evaluate_acyclic``);
-* the preserved assignment-dict Yannakakis evaluator
-  (:class:`repro.evaluation.yannakakis_dict.DictYannakakisEvaluator`);
+* the preserved assignment-dict Yannakakis evaluator (the test-only oracle
+  in ``tests/helpers/yannakakis_dict.py``);
 * the plan executor (``evaluate_with_plan``) on the relation engine.
 
 The generated workloads deliberately include repeated head variables,
@@ -22,9 +22,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datamodel import Atom, Constant, Database, Instance, Null, Predicate, Variable
+from helpers.yannakakis_dict import DictYannakakisEvaluator
 from repro.evaluation import (
     AcyclicityRequired,
-    DictYannakakisEvaluator,
     YannakakisEvaluator,
     boolean_acyclic,
     evaluate_acyclic,
@@ -40,40 +40,9 @@ from repro.workloads.generators import (
     random_schema,
 )
 
-
-def _randomized_workload(seed: int):
-    """An acyclic CQ (possibly with constants and a repeated-variable head)
-    plus a random database over the same schema."""
-    rng = random.Random(seed)
-    schema = random_schema(
-        seed=rng.random(), predicate_count=rng.randint(2, 4), max_arity=rng.randint(1, 3)
-    )
-    database = random_database(
-        seed=rng.random(),
-        schema=schema,
-        facts_per_predicate=rng.randint(5, 25),
-        domain_size=rng.randint(3, 10),
-    )
-    query = random_acyclic_query(
-        seed=rng.random(), schema=schema, atom_count=rng.randint(1, 6)
-    )
-
-    # Inject database constants into some atom positions (selections).
-    domain = sorted(database.constants(), key=str)
-    body = []
-    for atom in query.body:
-        terms = list(atom.terms)
-        for position in range(len(terms)):
-            if domain and rng.random() < 0.15:
-                terms[position] = rng.choice(domain)
-        body.append(Atom(atom.predicate, tuple(terms)))
-
-    # A head over the surviving variables, with repetition allowed.
-    variables = sorted({v for atom in body for v in atom.variables()}, key=str)
-    head = tuple(
-        rng.choice(variables) for _ in range(rng.randint(0, min(3, len(variables))))
-    ) if variables else ()
-    return ConjunctiveQuery(head, body, name=f"diff_{seed}"), database
+# Shared with tests/test_streaming_eval.py so the streaming differential
+# covers the same corner-hitting query space as the set-at-a-time one.
+from helpers.workloads import randomized_acyclic_workload as _randomized_workload
 
 
 def _assert_engines_agree(query: ConjunctiveQuery, database: Instance) -> None:

@@ -1,0 +1,383 @@
+"""Streaming answer enumeration: differential equality and bounded work.
+
+The streaming entry points (:func:`repro.evaluation.evaluate_iter`,
+:meth:`YannakakisEvaluator.iter_answers`, :func:`iter_with_plan`,
+:meth:`BatchEvaluator.evaluate_iter`) promise two things:
+
+1. **Same answers** — for every route (Yannakakis / reformulation-under-tgds
+   / plan) the set of streamed tuples equals the materialising evaluation,
+   no tuple is yielded twice, and ``limit=k`` yields exactly
+   ``min(k, |q(D)|)`` distinct answers.  Checked here with hypothesis over
+   randomized workloads including constants and repeated head variables.
+
+2. **Bounded work** — the first answer is produced without touching all
+   buckets, and ``boolean()`` on a satisfiable query stops after one
+   answer.  Checked with the deterministic bucket-probe counters of
+   :class:`repro.evaluation.relation.Partition` (``.get`` probes), not with
+   wall clocks.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers.workloads import randomized_acyclic_workload, randomized_cyclic_workload
+from repro.datamodel import Atom, Constant, Database, Predicate, Variable
+from repro.evaluation import (
+    AcyclicityRequired,
+    BatchEvaluator,
+    NotSemanticallyAcyclic,
+    ScanCache,
+    SemAcEvaluation,
+    YannakakisEvaluator,
+    evaluate_generic,
+    evaluate_iter,
+    evaluate_via_reformulation,
+    evaluate_with_plan,
+    iter_with_plan,
+)
+from repro.evaluation.relation import Partition
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.generators import (
+    shared_predicate_batch_workload,
+    wide_output_workload,
+)
+from repro.workloads.paper_examples import (
+    example1_query,
+    example1_tgd,
+    guarded_triangle_example,
+)
+from repro.workloads import music_store_database
+
+
+# ----------------------------------------------------------------------
+# Differential: Yannakakis route
+# ----------------------------------------------------------------------
+def _assert_streams_like_sets(query, database, seed: int) -> None:
+    try:
+        evaluator = YannakakisEvaluator(query)
+    except AcyclicityRequired:
+        # Constant injection can, in rare corners, make the variable
+        # hypergraph cyclic; the Yannakakis differential only covers the
+        # acyclic domain (the plan route is tested separately).
+        return
+    expected = evaluate_generic(query, database)
+    streamed = list(evaluator.iter_answers(database))
+    assert len(streamed) == len(set(streamed)), "a tuple was yielded twice"
+    assert set(streamed) == expected
+    # evaluate_iter routes acyclic queries to the same streaming phase 4.
+    assert set(evaluate_iter(query, database)) == expected
+    # The unreduced mode (dead ends possible, memoised) agrees too.
+    assert set(evaluator.iter_answers(database, reduce=False)) == expected
+    # Boolean short-circuit is consistent with the answer set.
+    assert evaluator.boolean(database) == bool(expected)
+    # limit= yields exactly min(k, |answers|) distinct answers.
+    k = random.Random(seed).randint(0, 4)
+    limited = list(evaluator.iter_answers(database, limit=k))
+    assert len(limited) == min(k, len(expected))
+    assert len(set(limited)) == len(limited)
+    assert set(limited) <= expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_streaming_agrees_on_randomized_acyclic_workloads(seed):
+    query, database = randomized_acyclic_workload(seed)
+    _assert_streams_like_sets(query, database, seed)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_streaming_agrees_on_seeded_grid(seed):
+    """A fixed, deterministic slice of the same space (fast CI signal)."""
+    query, database = randomized_acyclic_workload(seed * 4507)
+    _assert_streams_like_sets(query, database, seed)
+
+
+# ----------------------------------------------------------------------
+# Differential: plan route (cyclic queries)
+# ----------------------------------------------------------------------
+def _assert_plan_route_streams(query, database, seed: int) -> None:
+    expected = evaluate_with_plan(query, database)
+    assert expected == evaluate_generic(query, database)
+    streamed = list(evaluate_iter(query, database, engine="plan"))
+    assert len(streamed) == len(set(streamed))
+    assert set(streamed) == expected
+    # Cyclic queries fall back to the plan route under engine="auto" too.
+    assert set(evaluate_iter(query, database)) == expected
+    k = random.Random(seed).randint(0, 4)
+    limited = list(evaluate_iter(query, database, engine="plan", limit=k))
+    assert len(limited) == min(k, len(expected))
+    assert set(limited) <= expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_plan_streaming_agrees_on_randomized_cyclic_workloads(seed):
+    query, database = randomized_cyclic_workload(seed)
+    _assert_plan_route_streams(query, database, seed)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_plan_streaming_agrees_on_seeded_grid(seed):
+    query, database = randomized_cyclic_workload(seed * 7211)
+    _assert_plan_route_streams(query, database, seed)
+
+
+# ----------------------------------------------------------------------
+# Differential: reformulation route (Proposition 24)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(4))
+def test_reformulation_streaming_on_satisfying_databases(seed):
+    """engine="reformulation" streams q'(D) = q(D) on databases ⊨ Σ."""
+    from repro.chase import chase
+    from repro.workloads.generators import random_database
+
+    query, tgds = guarded_triangle_example()
+    assert not query.is_acyclic()
+    base = random_database(
+        seed=seed, schema=query.schema(), facts_per_predicate=8, domain_size=5
+    )
+    result = chase(base, tgds, max_steps=10_000)
+    assert result.terminated
+    database = Database()
+    database.add_all(result.instance)
+
+    expected = evaluate_generic(query, database)
+    streamed = list(evaluate_iter(query, database, tgds=tgds, engine="reformulation"))
+    assert len(streamed) == len(set(streamed))
+    assert set(streamed) == expected
+    # auto routes through the reformulation as well (the query is cyclic).
+    assert set(evaluate_iter(query, database, tgds=tgds)) == expected
+    for k in (0, 1, 3):
+        limited = list(
+            evaluate_iter(query, database, tgds=tgds, engine="reformulation", limit=k)
+        )
+        assert len(limited) == min(k, len(expected))
+        assert set(limited) <= expected
+
+
+def test_semac_evaluation_iter_answers_matches_evaluate():
+    query = example1_query()
+    tgd = example1_tgd()
+    database = music_store_database(seed=11, customers=10, records=12, styles=4)
+    answers = evaluate_via_reformulation(query, [tgd], database)
+
+    from repro.core.semantic_acyclicity import find_acyclic_reformulation_tgds
+
+    reformulation = find_acyclic_reformulation_tgds(query, [tgd])
+    evaluation = SemAcEvaluation.from_reformulation(query, reformulation)
+    streamed = list(evaluation.iter_answers(database))
+    assert len(streamed) == len(set(streamed))
+    assert set(streamed) == answers
+    assert len(list(evaluation.iter_answers(database, limit=2))) == min(2, len(answers))
+
+
+# ----------------------------------------------------------------------
+# Routing and API corners
+# ----------------------------------------------------------------------
+def test_unknown_streaming_engine_is_rejected():
+    with pytest.raises(ValueError):
+        evaluate_iter(ConjunctiveQuery((), []), Database(), engine="warp")
+
+
+def test_yannakakis_engine_refuses_cyclic_queries():
+    query, database = randomized_cyclic_workload(0)
+    with pytest.raises(AcyclicityRequired):
+        evaluate_iter(query, database, engine="yannakakis")
+
+
+def test_reformulation_engine_requires_a_reformulation():
+    query = example1_query()  # cyclic; no tgds supplied
+    with pytest.raises(NotSemanticallyAcyclic):
+        evaluate_iter(query, music_store_database(seed=1), engine="reformulation")
+
+
+def test_nullary_query_streams_one_empty_answer():
+    empty_body = ConjunctiveQuery((), [], name="nullary")
+    assert list(evaluate_iter(empty_body, Database(), engine="plan")) == [()]
+    assert list(iter_with_plan(empty_body, Database())) == [()]
+
+
+def test_streaming_empty_results():
+    E = Predicate("E", 2)
+    x, y = Variable("x"), Variable("y")
+    query = ConjunctiveQuery((x,), [Atom(E, (x, y))])
+    assert list(evaluate_iter(query, Database())) == []
+    assert list(evaluate_iter(query, Database(), engine="plan")) == []
+
+
+def test_streaming_preserves_repeated_head_variables():
+    E = Predicate("E", 2)
+    database = Database([Atom(E, (Constant("a"), Constant("b")))])
+    x, y = Variable("x"), Variable("y")
+    query = ConjunctiveQuery((x, x, y), [Atom(E, (x, y))])
+    expected = {(Constant("a"), Constant("a"), Constant("b"))}
+    assert set(evaluate_iter(query, database)) == expected
+    assert set(evaluate_iter(query, database, engine="plan")) == expected
+
+
+def test_limit_zero_and_negative_yield_nothing():
+    query, database = wide_output_workload(2, width=4)
+    assert list(evaluate_iter(query, database, limit=0)) == []
+    assert list(evaluate_iter(query, database, limit=-3)) == []
+
+
+# ----------------------------------------------------------------------
+# Batch streaming: per-query generators over one shared cache
+# ----------------------------------------------------------------------
+def test_batch_evaluate_iter_matches_evaluate():
+    queries, database = shared_predicate_batch_workload(10, size=200, seed=3)
+    batch = BatchEvaluator(queries)
+    expected = batch.evaluate(database)
+    cache = ScanCache(database)
+    results = [list(stream) for stream in batch.evaluate_iter(database, scans=cache)]
+    for streamed, answers in zip(results, expected):
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == answers
+    # All generators drew their phase-1 scans from the one shared cache
+    # (at most one derived + one base build per distinct signature, vs one
+    # serve per query atom).
+    assert cache.served >= len(queries)
+    assert cache.built <= cache.served + 6
+
+
+def test_batch_evaluate_iter_mixed_routes_and_limit():
+    """One batch exercising all three routes through the streaming face."""
+    cyclic_query, tgds = guarded_triangle_example()
+    acyclic_probe = ConjunctiveQuery(
+        (Variable("px"),),
+        [Atom(cyclic_query.body[0].predicate, (Variable("px"), Variable("py")))],
+        name="probe",
+    )
+    # A triangle over a predicate the tgds never mention: no reformulation
+    # exists, so the batch must fall back to the (block-streamed) plan.
+    T = Predicate("StreamT", 2)
+    triangle = ConjunctiveQuery(
+        (Variable("a"),),
+        [
+            Atom(T, (Variable("a"), Variable("b"))),
+            Atom(T, (Variable("b"), Variable("c"))),
+            Atom(T, (Variable("c"), Variable("a"))),
+        ],
+        name="triangle",
+    )
+    from repro.chase import chase
+    from repro.workloads.generators import random_database
+
+    base = random_database(
+        seed=5, schema=cyclic_query.schema(), facts_per_predicate=8, domain_size=5
+    )
+    result = chase(base, tgds, max_steps=10_000)
+    assert result.terminated
+    database = Database()
+    database.add_all(result.instance)
+    rng = random.Random(5)
+    nodes = [Constant(f"t{i}") for i in range(5)]
+    for _ in range(18):
+        database.add(Atom(T, (rng.choice(nodes), rng.choice(nodes))))
+
+    batch = BatchEvaluator([cyclic_query, acyclic_probe, triangle], tgds=tgds)
+    assert batch.routes() == ["reformulated", "yannakakis", "plan"]
+    expected = batch.evaluate(database)
+    results = [list(stream) for stream in batch.evaluate_iter(database)]
+    assert [set(streamed) for streamed in results] == expected
+
+    limited = [list(stream) for stream in batch.evaluate_iter(database, limit=2)]
+    for streamed, answers in zip(limited, expected):
+        assert len(streamed) == min(2, len(answers))
+        assert set(streamed) <= answers
+
+
+def test_batch_evaluate_iter_generators_interleave():
+    queries, database = shared_predicate_batch_workload(6, size=150, seed=7)
+    batch = BatchEvaluator(queries)
+    expected = batch.evaluate(database)
+    streams = batch.evaluate_iter(database)
+    collected = [[] for _ in streams]
+    # Round-robin consumption: one answer from each live generator per turn.
+    live = list(range(len(streams)))
+    while live:
+        for index in list(live):
+            try:
+                collected[index].append(next(streams[index]))
+            except StopIteration:
+                live.remove(index)
+    for streamed, answers in zip(collected, expected):
+        assert set(streamed) == answers
+        assert len(streamed) == len(answers)
+
+
+# ----------------------------------------------------------------------
+# Bounded work: counter-instrumented bucket probes
+# ----------------------------------------------------------------------
+def _probes(run):
+    before = Partition.total_probes
+    result = run()
+    return result, Partition.total_probes - before
+
+
+def test_first_answer_is_produced_without_touching_all_buckets():
+    """The probes before the first streamed answer are O(join-tree) —
+    identical across widths — while the materialising phase 4 probes grow
+    with the data."""
+    first_probes = []
+    for width in (20, 80):
+        query, database = wide_output_workload(3, width=width, seed=1)
+        evaluator = YannakakisEvaluator(query)
+        answer, probes = _probes(lambda: next(evaluator.iter_answers(database)))
+        assert answer in evaluator.evaluate(database)
+        assert probes <= 6, f"first answer touched {probes} buckets"
+        first_probes.append(probes)
+        _, materialise_probes = _probes(lambda: evaluator.evaluate(database))
+        assert materialise_probes >= width
+    assert first_probes[0] == first_probes[1], "first-answer work grew with width"
+
+
+def test_limited_enumeration_probes_scale_with_limit_not_output():
+    """On the layered chain the probe keys differ per answer (no memo
+    sharing), so the probe count is a faithful work meter: a limited run
+    must probe far fewer buckets than a full enumeration."""
+    from repro.workloads.generators import yannakakis_scaling_workload
+
+    query, database = yannakakis_scaling_workload(600, seed=2)
+    evaluator = YannakakisEvaluator(query)
+    answers = evaluator.evaluate(database)
+    assert len(answers) > 40
+    _, probes_5 = _probes(lambda: list(evaluator.iter_answers(database, limit=5)))
+    _, probes_all = _probes(lambda: list(evaluator.iter_answers(database)))
+    assert probes_5 * 4 <= probes_all
+
+
+def test_boolean_stops_after_one_answer():
+    """On a satisfiable query boolean() must not run the semi-join passes to
+    completion: with decoy-free data its probe count is the witness path —
+    constant in the width — and far below one full enumeration."""
+    boolean_probes = []
+    for width in (20, 80):
+        query, database = wide_output_workload(3, width=width, decoys=0, seed=0)
+        evaluator = YannakakisEvaluator(query)
+        satisfied, probes = _probes(lambda: evaluator.boolean(database))
+        assert satisfied is True
+        assert probes <= 6, f"boolean touched {probes} buckets"
+        boolean_probes.append(probes)
+        # The materialising path, by contrast, probes per joined row.
+        _, materialise_probes = _probes(lambda: evaluator.evaluate(database))
+        assert probes * 4 <= materialise_probes
+    assert boolean_probes[0] == boolean_probes[1], "boolean work grew with width"
+
+
+def test_boolean_is_still_correct_on_unsatisfiable_queries():
+    E = Predicate("E", 2)
+    database = Database(
+        [Atom(E, (Constant("a"), Constant("b"))), Atom(E, (Constant("b"), Constant("c")))]
+    )
+    x = Variable("x")
+    loop = ConjunctiveQuery((), [Atom(E, (x, x))], name="loop")
+    assert YannakakisEvaluator(loop).boolean(database) is False
+    y, z = Variable("y"), Variable("z")
+    path3 = ConjunctiveQuery(
+        (), [Atom(E, (x, y)), Atom(E, (y, z)), Atom(E, (z, Variable("w")))]
+    )
+    assert YannakakisEvaluator(path3).boolean(database) is False
