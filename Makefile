@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test docs-check bench bench-smoke bench-enum
+.PHONY: test docs-check bench bench-smoke bench-enum bench-plans
 
 ## Tier-1 verify: the command every PR must keep green.
 test:
@@ -24,3 +24,7 @@ bench-smoke:
 ## Streaming enumeration: time-to-first-answer / delay vs materialising.
 bench-enum:
 	$(PYTEST) benchmarks/bench_enumeration.py -s
+
+## Plan quality: greedy intermediates, legacy heuristic vs calibrated model.
+bench-plans:
+	$(PYTEST) benchmarks/bench_plan_quality.py -s

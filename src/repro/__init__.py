@@ -56,6 +56,8 @@ from .evaluation import (
     evaluate_acyclic,
     evaluate_batch,
     evaluate_generic,
+    evaluate_iter,
+    explain,
     query_covers_database,
 )
 from .core import (
@@ -125,6 +127,8 @@ __all__ = [
     "evaluate_acyclic",
     "evaluate_batch",
     "evaluate_generic",
+    "evaluate_iter",
+    "explain",
     "find_acyclic_reformulation_tgds",
     "is_guarded_set",
     "is_non_recursive_set",

@@ -8,13 +8,20 @@ of :mod:`repro.parser`:
 * ``repro chase``       — chase a query or database and print the result;
 * ``repro rewrite``     — UCQ-rewrite a CQ under tgds;
 * ``repro approximate`` — compute acyclic approximations (Section 8.2);
-* ``repro evaluate``    — evaluate a CQ over a data file (via an acyclic
-  reformulation whenever one is available).
+* ``repro evaluate``    — evaluate a CQ over a data file.  ``--engine``
+  picks the route (``auto`` | ``yannakakis`` | ``reformulation`` |
+  ``plan`` | ``generic``) and ``--limit N`` streams only the first ``N``
+  answers through :func:`repro.evaluation.evaluate_iter`;
+* ``repro explain``     — print the chosen physical plan with estimated
+  vs. observed cardinalities per operator (the EXPLAIN of the
+  operator IR).
 
 Usage examples::
 
     python -m repro decide --query "Interest(x,z), Class(y,z), Owns(x,y)" \
         --dependency "Interest(x,z), Class(y,z) -> Owns(x,y)"
+
+    python -m repro explain --query "q(x,z) :- E(x,y), E(y,z)" --data facts.txt
 
     python -m repro classify --constraints ontology.rules
 
@@ -39,7 +46,15 @@ from .datamodel import Database
 from .dependencies import EGD, TGD, classify, describe
 from .parser import parse_atom, parse_dependency, parse_program, parse_query
 from .rewriting import rewrite
-from .evaluation import evaluate_acyclic, evaluate_generic
+from .evaluation import (
+    AcyclicityRequired,
+    NotSemanticallyAcyclic,
+    YannakakisEvaluator,
+    evaluate_generic,
+    explain,
+    iter_with_plan,
+    resolve_route,
+)
 
 
 Dependency = Union[TGD, EGD]
@@ -185,26 +200,82 @@ def _cmd_evaluate(args: argparse.Namespace, out: IO[str]) -> int:
     database = load_database(args.data)
     dependencies = load_dependencies(args.constraints, args.dependency)
     tgds, egds = _split_dependencies(dependencies)
+    limit = args.limit
 
-    effective = query
-    how = "generic"
-    if query.is_acyclic():
-        how = "yannakakis"
-    elif dependencies:
-        decision = decide_semantic_acyclicity(query, tgds or egds)
-        if decision.semantically_acyclic and decision.witness is not None:
-            effective = decision.witness
-            how = "reformulated+yannakakis"
-
-    if how == "generic":
-        answers = evaluate_generic(effective, database)
+    if args.engine == "generic":
+        answers: Sequence = sorted(evaluate_generic(query, database), key=str)
+        if limit is not None:
+            # max(0, …): a non-positive limit means "no answers", matching
+            # the streaming engines (a bare negative slice would instead
+            # drop answers from the end).
+            answers = answers[: max(0, limit)]
+        how = "generic"
     else:
-        answers = evaluate_acyclic(effective, database)
+        try:
+            route, evaluator = resolve_route(query, tgds=tgds, engine=args.engine)
+        except (AcyclicityRequired, NotSemanticallyAcyclic) as error:
+            raise SystemExit(str(error))
+        # Egd-only constraint sets are outside resolve_route's tgd-based
+        # reformulation search; fall back to the decision procedure so the
+        # historical ``evaluate --dependency "R(x,y), R(x,z) -> y = z"``
+        # behaviour is preserved.
+        if route == "plan" and egds and not tgds and args.engine == "auto":
+            decision = decide_semantic_acyclicity(query, egds)
+            if decision.semantically_acyclic and decision.witness is not None:
+                route, evaluator = "reformulated", YannakakisEvaluator(decision.witness)
+        how = "reformulated+yannakakis" if route == "reformulated" else route
+        if evaluator is not None:
+            stream = evaluator.iter_answers(database, limit=limit)
+        else:
+            stream = iter_with_plan(query, database, limit=limit)
+        answers = sorted(stream, key=str)
+
     print(f"evaluation: {how}", file=out)
+    if limit is not None:
+        print(f"limit: {limit}", file=out)
     print(f"answers: {len(answers)}", file=out)
-    for answer in sorted(answers, key=str):
+    for answer in answers:
         rendered = ", ".join(str(term) for term in answer)
         print(f"({rendered})", file=out)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace, out: IO[str]) -> int:
+    query = load_query(args.query, args.query_file)
+    database = load_database(args.data)
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    tgds, egds = _split_dependencies(dependencies)
+    execute = not args.no_execute
+    try:
+        # Mirror _cmd_evaluate's egd fallback so EXPLAIN reports the route
+        # evaluate actually takes: egd-only constraint sets go through the
+        # decision procedure, not the tgd reformulation search.
+        if args.engine == "auto" and egds and not tgds and not query.is_acyclic():
+            decision = decide_semantic_acyclicity(query, egds)
+            if decision.semantically_acyclic and decision.witness is not None:
+                witness = decision.witness
+                report = "\n".join(
+                    [
+                        f"query: {query}",
+                        "route: reformulated",
+                        f"reformulation: {witness}",
+                        YannakakisEvaluator(witness).explain(
+                            database, execute=execute
+                        ),
+                    ]
+                )
+                print(report, file=out)
+                return 0
+        report = explain(
+            query,
+            database,
+            tgds=tgds,
+            engine=args.engine,
+            execute=execute,
+        )
+    except (AcyclicityRequired, NotSemanticallyAcyclic) as error:
+        raise SystemExit(str(error))
+    print(report, file=out)
     return 0
 
 
@@ -267,7 +338,40 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser = subparsers.add_parser("evaluate", help="evaluate a CQ over a data file")
     _add_common_inputs(evaluate_parser)
     evaluate_parser.add_argument("--data", required=True, help="data file (one atom per line)")
+    evaluate_parser.add_argument(
+        "--engine",
+        choices=("auto", "yannakakis", "reformulation", "plan", "generic"),
+        default="auto",
+        help="evaluation route (default: auto — Yannakakis, reformulation "
+        "under constraints, or a greedy join plan)",
+    )
+    evaluate_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream only the first N answers (evaluate_iter)",
+    )
     evaluate_parser.set_defaults(handler=_cmd_evaluate)
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="print the physical plan with estimated vs. observed cardinalities",
+    )
+    _add_common_inputs(explain_parser)
+    explain_parser.add_argument("--data", required=True, help="data file (one atom per line)")
+    explain_parser.add_argument(
+        "--engine",
+        choices=("auto", "yannakakis", "reformulation", "plan"),
+        default="auto",
+        help="force the explained route (default: auto)",
+    )
+    explain_parser.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="show estimates only (skip running the plan for observed rows)",
+    )
+    explain_parser.set_defaults(handler=_cmd_explain)
 
     return parser
 

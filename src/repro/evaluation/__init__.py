@@ -1,14 +1,19 @@
 """Evaluation engines: Yannakakis, generic join, cover game, SemAcEval, batch.
 
-All set-at-a-time engines (Yannakakis and the plan executor) run on the
-hash-partitioned :class:`~repro.evaluation.relation.Relation` layer.  Every
-route also has a *streaming* face: :func:`evaluate_iter` (and
-:meth:`YannakakisEvaluator.iter_answers`, :func:`iter_with_plan`,
-:meth:`BatchEvaluator.evaluate_iter`) yields distinct answers one at a time
-instead of materialising the output — the ``LIMIT``-style serving scenarios
-of the ROADMAP.  The original assignment-dict Yannakakis is a test-only
-differential oracle under ``tests/helpers/yannakakis_dict.py`` and is no
-longer part of this package's API.
+Every set-at-a-time engine compiles to the shared physical-operator IR of
+:mod:`repro.evaluation.operators` (``Scan`` / ``SemiJoin`` / ``HashJoin`` /
+``Project`` / ``Select`` / ``Distinct`` / ``CursorEnumerate``), which runs
+on the hash-partitioned :class:`~repro.evaluation.relation.Relation` layer
+and records per-operator estimated (statistics-calibrated
+:class:`CostModel`) and observed cardinalities — pretty-printed by the
+:func:`explain` API.  Every route also has a *streaming* face:
+:func:`evaluate_iter` (and :meth:`YannakakisEvaluator.iter_answers`,
+:func:`iter_with_plan`, :meth:`BatchEvaluator.evaluate_iter`) yields
+distinct answers one at a time instead of materialising the output — the
+``LIMIT``-style serving scenarios of the ROADMAP.  The original
+assignment-dict Yannakakis is a test-only differential oracle under
+``tests/helpers/yannakakis_dict.py`` and is no longer part of this
+package's API.
 
 Batches of queries over one database go through :func:`evaluate_batch`
 (:mod:`repro.evaluation.batch`), which shares the phase-1 atom scans and
@@ -18,6 +23,21 @@ cache can be injected into any single-query entry point through its
 """
 
 from .relation import Partition, Relation, ScanProvider, SchemaError
+from .operators import (
+    CardinalityEstimate,
+    CostModel,
+    CursorEnumerate,
+    Distinct,
+    ExecutionContext,
+    HashJoin,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Statistics,
+    render_plan,
+)
 from .batch import BatchEvaluator, ScanCache, atom_signature
 from .yannakakis import (
     AcyclicityRequired,
@@ -31,14 +51,17 @@ from .join_plans import (
     PlanExecution,
     PlanStep,
     boolean_with_plan,
+    compile_plan,
     estimate_cardinality,
     estimated_intermediate_sizes,
     evaluate_with_plan,
     execute_plan,
+    explain_plan,
     iter_plan_answers,
     iter_with_plan,
     plan_by_cardinality,
     plan_greedy,
+    plan_greedy_heuristic,
     plan_in_query_order,
 )
 from .cover_game import (
@@ -55,32 +78,47 @@ from .semacyclic_eval import (
     evaluate_batch,
     evaluate_iter,
     evaluate_via_reformulation,
+    explain,
     membership_baseline,
     membership_via_chase_and_cover_game_tgds,
     membership_via_cover_game_egds,
     membership_via_cover_game_guarded,
+    resolve_route,
 )
 
 __all__ = [
     "AcyclicityRequired",
     "BatchEvaluator",
+    "CardinalityEstimate",
+    "CostModel",
     "CoverEngine",
     "CoverGameResult",
+    "CursorEnumerate",
+    "Distinct",
+    "ExecutionContext",
+    "HashJoin",
     "JoinPlan",
     "NotSemanticallyAcyclic",
+    "Operator",
     "Partition",
     "PlanExecution",
     "PlanStep",
+    "Project",
     "Relation",
+    "Scan",
     "ScanCache",
     "ScanProvider",
     "SchemaError",
+    "Select",
     "SemAcEvaluation",
+    "SemiJoin",
+    "Statistics",
     "YannakakisEvaluator",
     "atom_signature",
     "boolean_acyclic",
     "boolean_generic",
     "boolean_with_plan",
+    "compile_plan",
     "estimate_cardinality",
     "estimated_intermediate_sizes",
     "evaluate_acyclic",
@@ -92,6 +130,8 @@ __all__ = [
     "execute_plan",
     "existential_one_cover",
     "existential_one_cover_naive",
+    "explain",
+    "explain_plan",
     "instance_covers_database",
     "iter_plan_answers",
     "iter_with_plan",
@@ -102,6 +142,9 @@ __all__ = [
     "membership_via_cover_game_guarded",
     "plan_by_cardinality",
     "plan_greedy",
+    "plan_greedy_heuristic",
     "plan_in_query_order",
     "query_covers_database",
+    "render_plan",
+    "resolve_route",
 ]

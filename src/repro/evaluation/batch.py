@@ -49,9 +49,9 @@ from typing import (
 from ..datamodel import Atom, Constant, Instance, Predicate, Term, Variable
 from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
-from .join_plans import evaluate_with_plan, iter_with_plan
+from .join_plans import evaluate_with_plan, explain_plan, iter_with_plan, plan_greedy
 from .relation import Relation, Row, ScanProvider, compile_scan_pattern
-from .yannakakis import AcyclicityRequired, YannakakisEvaluator
+from .yannakakis import YannakakisEvaluator
 
 
 #: One signature slot: a constant pinned at the position, or the index
@@ -249,17 +249,10 @@ class BatchEvaluator:
         ]
 
     def _route(self, query: ConjunctiveQuery) -> Tuple[str, Optional[YannakakisEvaluator]]:
-        try:
-            return ("yannakakis", YannakakisEvaluator(query))
-        except AcyclicityRequired:
-            pass
-        if self.tgds:
-            from ..core.semantic_acyclicity import find_acyclic_reformulation_tgds
+        # Shared routing (lazy import: semacyclic_eval imports this module).
+        from .semacyclic_eval import resolve_route
 
-            reformulation = find_acyclic_reformulation_tgds(query, self.tgds)
-            if reformulation is not None:
-                return ("reformulated", YannakakisEvaluator(reformulation))
-        return ("plan", None)
+        return resolve_route(query, tgds=self.tgds)
 
     def routes(self) -> List[str]:
         """The route chosen per query (aligned with ``self.queries``)."""
@@ -336,6 +329,39 @@ class BatchEvaluator:
             else:
                 iterators.append(stream_plan(query))
         return iterators
+
+    def explain(
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+        execute: bool = True,
+    ) -> List[str]:
+        """Per-query ``EXPLAIN`` output over one shared :class:`ScanCache`.
+
+        Aligned with ``self.queries``; each entry names the chosen route
+        and renders the compiled operator plan with estimated vs. observed
+        cardinalities (see :func:`repro.evaluation.semacyclic_eval
+        .explain`, whose formatting this matches).  All plans draw their
+        scans and statistics from one cache, so explaining a batch costs
+        each distinct base scan once.
+        """
+        if scans is None:
+            scans = ScanCache(database)
+        reports: List[str] = []
+        for query, (kind, evaluator) in zip(self.queries, self._routes):
+            lines = [f"query: {query}", f"route: {kind}"]
+            if evaluator is not None:  # "yannakakis" and "reformulated"
+                if kind == "reformulated":
+                    lines.append(f"reformulation: {evaluator.query}")
+                lines.append(evaluator.explain(database, scans=scans, execute=execute))
+            else:
+                plan = plan_greedy(query, database, scans=scans)
+                lines.append(
+                    explain_plan(plan, database, scans=scans, execute=execute)
+                )
+            reports.append("\n".join(lines))
+        return reports
 
     def evaluate_sequential(self, database: Instance) -> List[Set[Tuple[Term, ...]]]:
         """The per-query baseline: identical routing, no shared scans.

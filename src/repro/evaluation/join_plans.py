@@ -7,15 +7,34 @@ a cost-based join order — so that the benchmarks can compare three points of
 the design space on the same workloads:
 
 1. naive backtracking in query order (``evaluate_generic``);
-2. hash joins over a greedily chosen join order (this module, executed on
-   the :class:`repro.evaluation.relation.Relation` engine);
+2. hash joins over a greedily chosen join order (this module, compiled onto
+   the physical-operator IR of :mod:`repro.evaluation.operators`);
 3. Yannakakis' semi-join algorithm for acyclic queries
    (:mod:`repro.evaluation.yannakakis`) — the method semantic acyclicity is
    trying to unlock.
 
-The planner is deliberately simple (selectivity = relation cardinality,
-connected orders preferred); its point is to make the "acyclic evaluation is
-the real win" story honest by comparing against a non-strawman baseline.
+A plan is an ordered sequence of atoms; compilation turns it into a
+left-deep chain of :class:`~repro.evaluation.operators.Scan` and
+:class:`~repro.evaluation.operators.HashJoin` operators.  The two execution
+faces come straight from the IR:
+
+* :func:`execute_plan` materialises step by step and records every
+  intermediate-result size (the ablation benchmarks and the cost-model
+  calibration want them);
+* :func:`iter_plan_answers` runs the *streaming* face: the whole left-deep
+  chain pipelines (each pulled row probes the next scan's cached
+  partition), so nothing but the base scans is ever materialised and
+  ``limit``-style consumers stop the entire chain after a handful of
+  bucket probes — there is no materialised join prefix any more.
+
+Cardinality estimation is statistics-calibrated: the planners score
+candidate orders with the :class:`~repro.evaluation.operators.CostModel`
+(per-column distinct counts, bucket-size histograms, textbook join
+selectivities) instead of the historical 1/10-per-constraint guess.  The
+old heuristic survives as :func:`estimate_cardinality` /
+:func:`plan_greedy_heuristic` — the baseline that
+``benchmarks/bench_plan_quality.py`` and the calibration guard in
+``tests/test_plan_calibration.py`` measure the calibrated model against.
 """
 
 from __future__ import annotations
@@ -25,7 +44,18 @@ from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..datamodel import Atom, Constant, Instance, Term, Variable
 from ..queries.cq import ConjunctiveQuery
-from .relation import Relation, Row, ScanProvider
+from .operators import (
+    CardinalityEstimate,
+    CostModel,
+    ExecutionContext,
+    HashJoin,
+    Operator,
+    Project,
+    Scan,
+    Statistics,
+    first_occurrence_schema,
+)
+from .relation import Relation, ScanProvider
 
 
 # ----------------------------------------------------------------------
@@ -33,11 +63,19 @@ from .relation import Relation, Row, ScanProvider
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class PlanStep:
-    """One step of a join plan: the atom to join next plus its cost estimate."""
+    """One step of a join plan: the atom to join next plus its estimates.
+
+    ``estimated_cardinality`` is the cost model's estimate of the atom's
+    own scan; ``estimated_intermediate_rows`` its estimate of the
+    intermediate result *after* joining this step into the prefix (the
+    quantity ``tests/test_plan_calibration.py`` calibrates against the
+    executor's observations).
+    """
 
     atom: Atom
     estimated_cardinality: int
     shares_variables_with_prefix: bool
+    estimated_intermediate_rows: int = 0
 
 
 @dataclass
@@ -81,15 +119,18 @@ class PlanExecution:
 
 
 # ----------------------------------------------------------------------
-# Planning
+# Cardinality estimation
 # ----------------------------------------------------------------------
 def estimate_cardinality(atom: Atom, database: Instance) -> int:
-    """Estimated number of database facts matching ``atom``.
+    """The *legacy heuristic* estimate of the facts matching ``atom``.
 
-    The estimate is the size of the atom's relation, discounted when the atom
-    constrains positions with constants or repeated variables (each such
-    constraint is assumed to keep roughly one tenth of the facts — a crude
-    but monotone selectivity model).
+    Relation size, discounted by one fixed factor of 10 per constant or
+    repeated-variable constraint — monotone but blind to the actual value
+    distributions.  Superseded by the statistics-calibrated
+    :meth:`~repro.evaluation.operators.CostModel.scan_estimate` everywhere
+    the planners run; kept as the baseline of
+    :func:`plan_greedy_heuristic` and of
+    ``benchmarks/bench_plan_quality.py``.
     """
     base = len(database.atoms_with_predicate(atom.predicate))
     constraints = sum(1 for term in atom.terms if isinstance(term, Constant))
@@ -105,45 +146,124 @@ def estimate_cardinality(atom: Atom, database: Instance) -> int:
 
 
 def estimated_intermediate_sizes(plan: JoinPlan) -> List[int]:
-    """The planner's estimate of each step's intermediate-result size.
+    """The cost model's estimate of each step's intermediate-result size.
 
-    The model is deliberately the crudest one consistent with the per-atom
-    estimates: full independence, i.e. the running product of the per-step
-    cardinality estimates.  :class:`PlanExecution.intermediate_sizes` records
-    what the executor actually observed, so the pair seeds the cost-model
-    calibration the ROADMAP asks for — ``tests/test_plan_calibration.py``
-    tracks the rank correlation between the two so that planner changes
-    cannot silently regress it.
+    The estimates are computed at planning time (statistics-calibrated
+    scan and join selectivities, see
+    :class:`~repro.evaluation.operators.CostModel`) and stored on the plan
+    steps.  :class:`PlanExecution.intermediate_sizes` records what the
+    executor actually observed; ``tests/test_plan_calibration.py`` pins
+    the rank correlation between the two so that planner changes cannot
+    silently regress the model.
     """
-    estimates: List[int] = []
-    running = 1
-    for step in plan.steps:
-        running *= max(1, step.estimated_cardinality)
-        estimates.append(running)
-    return estimates
+    return [step.estimated_intermediate_rows for step in plan.steps]
 
 
-def plan_in_query_order(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def _cost_model(
+    database: Instance,
+    scans: Optional[ScanProvider],
+    statistics: Optional[Statistics],
+) -> CostModel:
+    return CostModel(statistics if statistics is not None else Statistics(database, scans))
+
+
+def plan_in_query_order(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+    statistics: Optional[Statistics] = None,
+) -> JoinPlan:
     """The "no planning" plan: atoms in the order they appear in the query."""
-    return _plan_from_order(query, database, list(query.body))
+    model = _cost_model(database, scans, statistics)
+    return _plan_from_order(query, list(query.body), model)
 
 
-def plan_by_cardinality(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
-    """Left-deep plan ordering atoms by estimated cardinality only."""
+def plan_by_cardinality(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+    statistics: Optional[Statistics] = None,
+) -> JoinPlan:
+    """Left-deep plan ordering atoms by estimated scan cardinality only."""
+    model = _cost_model(database, scans, statistics)
     ordered = sorted(
-        query.body, key=lambda atom: (estimate_cardinality(atom, database), str(atom))
+        query.body, key=lambda atom: (model.scan_estimate(atom).rows, str(atom))
     )
-    return _plan_from_order(query, database, ordered)
+    return _plan_from_order(query, ordered, model)
 
 
-def plan_greedy(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
-    """Greedy connected plan: cheapest atom first, then cheapest *connected* atom.
+def plan_greedy(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+    statistics: Optional[Statistics] = None,
+) -> JoinPlan:
+    """Greedy connected plan under the statistics-calibrated cost model.
 
-    At every step the planner prefers atoms sharing a variable with the atoms
-    already joined (avoiding cross products); ties are broken by the
-    cardinality estimate and then by the textual form of the atom so that the
-    plan is deterministic.
+    The cheapest scan goes first; every further step joins the candidate
+    whose estimated *join output* with the current prefix is smallest,
+    preferring atoms that share a variable with the prefix (avoiding cross
+    products).  Ties are broken by the textual form of the atom so the plan
+    is deterministic.  ``scans``/``statistics`` let a batch share the base
+    scans (and the partitions the planner's joint-distinct counts build)
+    between planning and execution.
     """
+    model = _cost_model(database, scans, statistics)
+    body = list(query.body)
+    if not body:
+        return JoinPlan(query)
+
+    estimates = [model.scan_estimate(atom) for atom in body]
+    remaining = list(range(len(body)))
+    first = min(remaining, key=lambda i: (estimates[i].rows, str(body[i]), i))
+    ordered = [body[first]]
+    prefix = estimates[first]
+    bound_variables: Set[Variable] = set(body[first].variables())
+    remaining.remove(first)
+
+    while remaining:
+        connected = [
+            i for i in remaining if body[i].variables() & bound_variables
+        ]
+        pool = connected or remaining
+        chosen = min(
+            pool,
+            key=lambda i: (
+                model.join_estimate(prefix, estimates[i]).rows,
+                str(body[i]),
+                i,
+            ),
+        )
+        prefix = model.join_estimate(prefix, estimates[chosen])
+        ordered.append(body[chosen])
+        bound_variables.update(body[chosen].variables())
+        remaining.remove(chosen)
+
+    return _plan_from_order(query, ordered, model)
+
+
+def plan_greedy_heuristic(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+    statistics: Optional[Statistics] = None,
+) -> JoinPlan:
+    """The historical greedy planner driven by :func:`estimate_cardinality`.
+
+    Connected atoms preferred, ordered by the 1/10-per-constraint scan
+    heuristic alone (no join selectivities).  Kept as the ablation baseline
+    for ``benchmarks/bench_plan_quality.py``; the step estimates recorded
+    on the plan still come from the calibrated model, so only the *order*
+    differs from :func:`plan_greedy`.
+    """
+    model = _cost_model(database, scans, statistics)
     remaining = list(query.body)
     if not remaining:
         return JoinPlan(query)
@@ -167,20 +287,24 @@ def plan_greedy(query: ConjunctiveQuery, database: Instance) -> JoinPlan:
         bound_variables.update(chosen.variables())
         remaining.remove(chosen)
 
-    return _plan_from_order(query, database, ordered)
+    return _plan_from_order(query, ordered, model)
 
 
 def _plan_from_order(
-    query: ConjunctiveQuery, database: Instance, ordered: Sequence[Atom]
+    query: ConjunctiveQuery, ordered: Sequence[Atom], model: CostModel
 ) -> JoinPlan:
     steps: List[PlanStep] = []
     seen_variables: Set[Variable] = set()
+    prefix: Optional[CardinalityEstimate] = None
     for atom in ordered:
+        scan = model.scan_estimate(atom)
+        prefix = scan if prefix is None else model.join_estimate(prefix, scan)
         steps.append(
             PlanStep(
                 atom=atom,
-                estimated_cardinality=estimate_cardinality(atom, database),
+                estimated_cardinality=int(round(scan.rows)),
                 shares_variables_with_prefix=bool(atom.variables() & seen_variables),
+                estimated_intermediate_rows=int(round(prefix.rows)),
             )
         )
         seen_variables.update(atom.variables())
@@ -188,28 +312,46 @@ def _plan_from_order(
 
 
 # ----------------------------------------------------------------------
-# Execution
+# Compilation and execution
 # ----------------------------------------------------------------------
+def compile_plan(plan: JoinPlan) -> List[Operator]:
+    """Compile a plan into its left-deep operator chain, one entry per step.
+
+    Entry ``i`` is the operator producing the intermediate result after
+    step ``i`` (entry 0 is the first scan); the last entry is the plan's
+    root.  The operators share structure, so materialising the root
+    materialises — and caches — every prefix entry along the way.
+    """
+    ops: List[Operator] = []
+    current: Optional[Operator] = None
+    for step in plan.steps:
+        scan = Scan(step.atom)
+        current = scan if current is None else HashJoin(current, scan)
+        ops.append(current)
+    return ops
+
+
 def execute_plan(
     plan: JoinPlan,
     database: Instance,
     *,
     scans: Optional[ScanProvider] = None,
 ) -> PlanExecution:
-    """Execute a join plan as a chain of hash joins over :class:`Relation`.
+    """Execute a join plan on its materialising face over the IR.
 
-    Each step materialises the atom's relation (one linear scan, constants
-    and repeated variables applied as selections) and hash-joins it into the
-    accumulated intermediate relation, so a step costs time linear in its
-    inputs plus its output.  The intermediates are materialised step by step
-    (pipelining would hide the intermediate sizes the ablation benchmark
-    wants to report).  ``scans`` injects a shared scan provider for the
-    per-atom materialisations (see :meth:`Relation.from_atom`).
+    Each chain operator is materialised in order (a step costs time linear
+    in its inputs plus its output) and its observed cardinality recorded,
+    so the ablation benchmarks and the calibration tests read real
+    intermediate sizes.  Execution stops early when an intermediate comes
+    up empty.  ``scans`` injects a shared scan provider for the base-atom
+    scans (see :meth:`Relation.from_atom`).
     """
+    context = ExecutionContext(database, scans)
+    ops = compile_plan(plan)
     relation = Relation.unit()
     intermediate_sizes: List[int] = []
-    for step in plan.steps:
-        relation = relation.join(Relation.from_atom(step.atom, database, scans))
+    for op in ops:
+        relation = op.materialize(context)
         intermediate_sizes.append(len(relation))
         if relation.is_empty():
             break
@@ -227,17 +369,15 @@ def iter_plan_answers(
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
 ) -> Iterator[Tuple[Term, ...]]:
-    """Block-stream a plan's answers: materialise the prefix, stream the tail.
+    """Stream a plan's answers through the fully pipelined operator chain.
 
-    The first ``len(plan) - 1`` steps are executed exactly as in
-    :func:`execute_plan` (materialised hash joins); the *final* join is not
-    materialised — each prefix row probes the last relation's cached
-    partition and the distinct head projections are yielded as they are
-    found.  This is the plan route's fallback form of streaming: the
-    time-to-first-answer still pays for the whole prefix (a cyclic query has
-    no join tree to compile cursors over), but the final — typically
-    output-dominating — join and the head deduplication stop early under
-    ``limit``-style consumption.
+    The streaming face of the left-deep chain: every pulled row flows from
+    the first scan through one cached-partition probe per later step, a
+    head :class:`~repro.evaluation.operators.Project` deduplicates on the
+    fly, and nothing but the base scans is ever materialised — the join
+    prefix that the pre-IR implementation used to build is gone, so
+    ``limit``-style consumption costs bucket probes proportional to the
+    answers pulled, not to the prefix size.
 
     The set of yielded tuples equals ``execute_plan(...).answers`` exactly,
     with no tuple yielded twice.
@@ -249,47 +389,67 @@ def iter_plan_answers(
             yield ()  # the nullary query: one empty answer over any database
         return
 
-    prefix = Relation.unit()
-    for step in plan.steps[:-1]:
-        prefix = prefix.join(Relation.from_atom(step.atom, database, scans))
-        if prefix.is_empty():
-            return
-    last = Relation.from_atom(plan.steps[-1].atom, database, scans)
-    if last.is_empty():
-        return
+    ops = compile_plan(plan)
+    head_schema = first_occurrence_schema(plan.query.head)
+    top = Project(ops[-1], head_schema)
+    head_positions = tuple(head_schema.index(v) for v in plan.query.head)
 
-    prefix_variables = set(prefix.schema)
-    head_plan = tuple(
-        (True, prefix.position(variable))
-        if variable in prefix_variables
-        else (False, last.position(variable))
-        for variable in plan.query.head
-    )
-    shared = prefix.shared_variables(last)
-    key_positions = tuple(prefix.position(variable) for variable in shared)
-    partition = last.partition(shared) if shared else None
-
-    seen: Set[Tuple[Term, ...]] = set()
+    context = ExecutionContext(database, scans)
     produced = 0
-    for row in prefix.rows:
-        if partition is not None:
-            matches: Sequence[Row] = partition.get(
-                tuple(row[p] for p in key_positions)
-            )
-        else:
-            matches = last.rows  # degenerate final step: cross product
-        for match in matches:
-            answer = tuple(
-                row[position] if from_prefix else match[position]
-                for from_prefix, position in head_plan
-            )
-            if answer in seen:
-                continue
-            seen.add(answer)
-            yield answer
-            produced += 1
-            if limit is not None and produced >= limit:
-                return
+    for row in top.iter_rows(context):
+        yield tuple(row[p] for p in head_positions)
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def explain_plan(
+    plan: JoinPlan,
+    database: Instance,
+    *,
+    scans: Optional[ScanProvider] = None,
+    statistics: Optional[Statistics] = None,
+    execute: bool = True,
+) -> str:
+    """Pretty-print a compiled plan with estimated vs. observed rows.
+
+    The chain (topped by the head projection) is annotated with the
+    statistics-calibrated cost model and, unless ``execute=False``, run on
+    its materialising face so every operator also reports its observed
+    cardinality.  Body of the plan-route ``explain`` in
+    :mod:`repro.evaluation.semacyclic_eval`; pass the ``statistics`` the
+    planner already built to avoid re-deriving them.
+    """
+    from .operators import render_plan
+
+    if not plan.steps:
+        return "(empty plan: the nullary query)"
+    ops = compile_plan(plan)
+    top: Operator = Project(ops[-1], first_occurrence_schema(plan.query.head))
+    model = CostModel(
+        statistics if statistics is not None else Statistics(database, scans)
+    )
+    model.annotate(top)
+    if execute:
+        top.materialize(ExecutionContext(database, scans))
+    return render_plan(top)
+
+
+def _default_scans(
+    database: Instance, scans: Optional[ScanProvider]
+) -> ScanProvider:
+    """One :class:`ScanCache` shared by planning statistics and execution.
+
+    Without it, the planner's :class:`Statistics` would materialise every
+    base relation for its distinct counts and the compiled ``Scan``
+    operators would then re-scan the same relations from scratch — two
+    full passes over the database per single-query call.
+    """
+    if scans is not None:
+        return scans
+    from .batch import ScanCache  # lazy: batch imports this module
+
+    return ScanCache(database)
 
 
 def evaluate_with_plan(
@@ -300,7 +460,8 @@ def evaluate_with_plan(
     scans: Optional[ScanProvider] = None,
 ) -> Set[Tuple[Term, ...]]:
     """Plan and execute ``query`` over ``database``; return the answer set."""
-    plan = planner(query, database)
+    scans = _default_scans(database, scans)
+    plan = planner(query, database, scans=scans)
     return execute_plan(plan, database, scans=scans).answers
 
 
@@ -312,8 +473,9 @@ def iter_with_plan(
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
 ) -> Iterator[Tuple[Term, ...]]:
-    """Plan ``query`` and block-stream its answers (see :func:`iter_plan_answers`)."""
-    plan = planner(query, database)
+    """Plan ``query`` and stream its answers (see :func:`iter_plan_answers`)."""
+    scans = _default_scans(database, scans)
+    plan = planner(query, database, scans=scans)
     return iter_plan_answers(plan, database, scans=scans, limit=limit)
 
 
@@ -326,8 +488,8 @@ def boolean_with_plan(
 ) -> bool:
     """Boolean evaluation through a join plan (first-answer short-circuit).
 
-    The streamed final join stops at the first answer, so only the plan's
-    prefix is ever materialised in full.
+    The pipelined chain stops at the first answer, so only the base scans —
+    never a join prefix — are materialised in full.
     """
     for _ in iter_with_plan(query, database, planner=planner, scans=scans, limit=1):
         return True

@@ -1,0 +1,891 @@
+"""The physical-operator IR shared by every set-at-a-time engine.
+
+The evaluators in this package used to be three bespoke code paths —
+Yannakakis' four phases, the greedy join-plan executor and their streaming
+variants — each re-implementing scans, semi-joins, joins and projection on
+top of :class:`~repro.evaluation.relation.Relation`.  Durand–Grandjean's
+complexity analysis of acyclic CQ evaluation and Brault-Baron's acyclicity
+hierarchy both phrase evaluation as a small algebra of bounded-work
+operators; this module reifies that algebra so the engines can share one
+execution substrate, one accounting scheme and one cost model:
+
+* an :class:`Operator` is a node of a physical plan (a DAG — reduction
+  plans share sub-operators between the semi-join passes).  Every operator
+  supports **both** execution faces:
+
+  - :meth:`Operator.materialize` — produce the full output
+    :class:`Relation` (cached on the node, so DAG-shared work is paid
+    once);
+  - :meth:`Operator.iter_rows` — *stream* the output rows.  Pipelining
+    operators (:class:`HashJoin`, :class:`SemiJoin`, :class:`Project`,
+    :class:`Select`, :class:`Distinct`) stream their left/only input and
+    never materialise their own output; :class:`CursorEnumerate` streams a
+    whole join tree through nested memoised cursors.
+
+* every operator records its **observed** cardinality
+  (:attr:`Operator.observed_rows`) and, where it probes hash partitions,
+  its bucket-probe count (:attr:`Operator.observed_probes`) — the raw
+  material of ``EXPLAIN`` output and of the bounded-work tests;
+
+* :class:`Statistics` + :class:`CostModel` supply the **estimated**
+  cardinalities (:attr:`Operator.estimated_rows`) from cached per-column
+  distinct counts and bucket-size histograms
+  (:meth:`Relation.column_distinct_counts`,
+  :meth:`Relation.bucket_histogram`) with the textbook selection/join
+  selectivities;
+
+* :func:`render_plan` pretty-prints an (annotated, possibly executed) plan
+  with estimated vs. observed cardinalities per operator — the body of the
+  public ``explain`` API in :mod:`repro.evaluation.semacyclic_eval`.
+
+A plan is compiled fresh per (query, database) evaluation call: compilation
+is pure position arithmetic (``O(query)``), and the per-node caches
+(results, observed counts) make a plan single-use by design — execute a
+plan against exactly one :class:`ExecutionContext`.
+
+Compilation happens in the engines: ``yannakakis.py`` emits a
+semi-join-reducer DAG topped by either a hash-join/projection tree
+(materialising phase 4) or a :class:`CursorEnumerate` (streaming phase 4),
+and ``join_plans.py`` emits left-deep :class:`HashJoin` chains whose
+streaming face pipelines the whole prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..datamodel import Atom, Instance, Predicate, Term, Variable
+from ..hypergraph import JoinTree
+from .relation import (
+    Partition,
+    Relation,
+    Row,
+    ScanProvider,
+    SchemaError,
+    compile_scan_pattern,
+)
+
+
+def first_occurrence_schema(variables: Sequence[Variable]) -> Tuple[Variable, ...]:
+    """The distinct variables of a (possibly repeating) head, in first-
+    occurrence order — the schema a head projection operator carries.
+    Repeated head variables are re-introduced outside the IR by the
+    engines' answer adapters."""
+    schema: List[Variable] = []
+    for variable in variables:
+        if variable not in schema:
+            schema.append(variable)
+    return tuple(schema)
+
+
+class ExecutionContext:
+    """What a plan runs against: one database plus an optional scan provider.
+
+    ``scans`` is threaded into every :class:`Scan` exactly like the
+    ``scans=`` parameter of the evaluator entry points (the canonical
+    provider is :class:`repro.evaluation.batch.ScanCache`).
+    """
+
+    __slots__ = ("database", "scans")
+
+    def __init__(
+        self, database: Instance, scans: Optional[ScanProvider] = None
+    ) -> None:
+        self.database = database
+        self.scans = scans
+
+
+# ----------------------------------------------------------------------
+# Operator base
+# ----------------------------------------------------------------------
+class Operator:
+    """One node of a physical plan.
+
+    Subclasses fix the static output ``schema`` at construction time (no
+    database access) and implement ``_materialize``; streaming operators
+    additionally override :meth:`iter_rows`.  ``estimated_rows`` is filled
+    by :meth:`CostModel.annotate`, ``observed_rows``/``observed_probes`` by
+    execution.
+    """
+
+    __slots__ = (
+        "schema",
+        "children",
+        "estimated_rows",
+        "observed_rows",
+        "observed_probes",
+        "_result",
+    )
+
+    def __init__(
+        self, schema: Tuple[Variable, ...], children: Tuple["Operator", ...]
+    ) -> None:
+        self.schema = schema
+        self.children = children
+        self.estimated_rows: Optional[float] = None
+        self.observed_rows: Optional[int] = None
+        self.observed_probes: Optional[int] = None
+        self._result: Optional[Relation] = None
+
+    # -- execution ------------------------------------------------------
+    def materialize(self, context: ExecutionContext) -> Relation:
+        """The full output relation (computed once, cached on the node)."""
+        if self._result is None:
+            self._result = self._materialize(context)
+            self.observed_rows = len(self._result)
+        return self._result
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        raise NotImplementedError
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        """Stream the output rows.
+
+        The base implementation materialises and iterates; pipelining
+        subclasses override it to stream without materialising their own
+        output (their ``observed_rows`` then counts the rows actually
+        pulled).
+        """
+        yield from self.materialize(context).rows
+
+    def _count_probe(self) -> None:
+        self.observed_probes = (self.observed_probes or 0) + 1
+
+    # -- presentation ---------------------------------------------------
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+def _shared_schema(
+    left: Operator, right: Operator
+) -> Tuple[Tuple[Variable, ...], Tuple[int, ...], Tuple[int, ...]]:
+    """(shared variables in left order, left key positions, right residual)."""
+    right_positions = {variable: i for i, variable in enumerate(right.schema)}
+    shared = tuple(v for v in left.schema if v in right_positions)
+    left_key = tuple(left.schema.index(v) for v in shared)
+    residual = tuple(
+        i for i, variable in enumerate(right.schema) if variable not in set(left.schema)
+    )
+    return shared, left_key, residual
+
+
+# ----------------------------------------------------------------------
+# Leaf and unary operators
+# ----------------------------------------------------------------------
+class Scan(Operator):
+    """Materialise the matches of one query atom (constants and repeated
+    variables applied as selections during the single pass).
+
+    Delegates to :meth:`Relation.from_atom`, so the context's scan provider
+    (e.g. a shared :class:`~repro.evaluation.batch.ScanCache`) serves the
+    relation when one is injected.
+    """
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom) -> None:
+        pattern = compile_scan_pattern(atom.terms)
+        super().__init__(tuple(pattern.variables), ())  # type: ignore[arg-type]
+        self.atom = atom
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        return Relation.from_atom(self.atom, context.database, context.scans)
+
+    def label(self) -> str:
+        return f"Scan[{self.atom}]"
+
+
+class Select(Operator):
+    """Keep the rows agreeing with a partial assignment (binding-seeded
+    evaluation; variables outside the child schema are ignored)."""
+
+    __slots__ = ("binding", "_checks")
+
+    def __init__(self, child: Operator, binding: Mapping[Variable, Term]) -> None:
+        super().__init__(child.schema, (child,))
+        self.binding = dict(binding)
+        self._checks = tuple(
+            (child.schema.index(variable), term)
+            for variable, term in self.binding.items()
+            if variable in child.schema
+        )
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        return self.children[0].materialize(context).select(self.binding)
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        self.observed_rows = 0
+        checks = self._checks
+        for row in self.children[0].iter_rows(context):
+            if all(row[position] == term for position, term in checks):
+                self.observed_rows += 1
+                yield row
+
+    def label(self) -> str:
+        conditions = ", ".join(
+            f"{variable}={term}" for variable, term in sorted(self.binding.items(), key=str)
+        )
+        return f"Select[{conditions}]"
+
+
+class Project(Operator):
+    """Project onto distinct variables, deduplicating (both faces)."""
+
+    __slots__ = ("_positions",)
+
+    def __init__(self, child: Operator, variables: Sequence[Variable]) -> None:
+        variables = tuple(variables)
+        if len(set(variables)) != len(variables):
+            raise SchemaError(f"duplicate variable in projection {variables}")
+        super().__init__(variables, (child,))
+        self._positions = tuple(child.schema.index(v) for v in variables)
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        return self.children[0].materialize(context).project(self.schema)
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        self.observed_rows = 0
+        positions = self._positions
+        seen: Set[Row] = set()
+        for row in self.children[0].iter_rows(context):
+            projected = tuple(row[p] for p in positions)
+            if projected not in seen:
+                seen.add(projected)
+                self.observed_rows += 1
+                yield projected
+
+    def label(self) -> str:
+        return f"Project[{', '.join(str(v) for v in self.schema)}]"
+
+
+class Distinct(Operator):
+    """Remove duplicate rows (a no-op after operators that already
+    guarantee distinctness; kept explicit for plans built from raw
+    streams)."""
+
+    __slots__ = ()
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__(child.schema, (child,))
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        return self.children[0].materialize(context).distinct()
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        self.observed_rows = 0
+        seen: Set[Row] = set()
+        for row in self.children[0].iter_rows(context):
+            if row not in seen:
+                seen.add(row)
+                self.observed_rows += 1
+                yield row
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+# ----------------------------------------------------------------------
+# Binary operators
+# ----------------------------------------------------------------------
+class SemiJoin(Operator):
+    """``left ⋉ right``: keep the left rows with a join partner in right.
+
+    Materialising face: :meth:`Relation.semijoin` (hash partition of the
+    right side, one filtering pass over the left — membership checks are
+    deliberately not probe-counted, matching the reduction-pass accounting
+    of the bounded-work tests).  Streaming face: the left input streams,
+    the right side is materialised into its cached partition.
+    """
+
+    __slots__ = ("_shared", "_left_key")
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        super().__init__(left.schema, (left, right))
+        self._shared, self._left_key, _ = _shared_schema(left, right)
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        left = self.children[0].materialize(context)
+        if left.is_empty():
+            return Relation(self.schema, [])
+        return left.semijoin(self.children[1].materialize(context))
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        self.observed_rows = 0
+        right = self.children[1].materialize(context)
+        if right.is_empty():
+            return
+        if not self._shared:
+            for row in self.children[0].iter_rows(context):
+                self.observed_rows += 1
+                yield row
+            return
+        partition = right.partition(self._shared)
+        left_key = self._left_key
+        for row in self.children[0].iter_rows(context):
+            if tuple(row[p] for p in left_key) in partition:
+                self.observed_rows += 1
+                yield row
+
+    def label(self) -> str:
+        return f"SemiJoin[{', '.join(str(v) for v in self._shared)}]"
+
+
+class HashJoin(Operator):
+    """Natural hash join — ``left ⋈ right`` (cross product when no variable
+    is shared).
+
+    Materialising face: :meth:`Relation.join` (linear in the operands plus
+    the output).  Streaming face: the left input streams and each row
+    probes the right side's cached partition, so a left-deep chain of
+    streaming hash joins pipelines end to end — nothing but the base scans
+    is ever materialised, and ``limit``-style consumers stop the whole
+    chain early.  Bucket probes are recorded per node either way.
+    """
+
+    __slots__ = ("_shared", "_left_key", "_right_residual")
+
+    def __init__(self, left: Operator, right: Operator) -> None:
+        shared, left_key, residual = _shared_schema(left, right)
+        schema = left.schema + tuple(right.schema[i] for i in residual)
+        super().__init__(schema, (left, right))
+        self._shared = shared
+        self._left_key = left_key
+        self._right_residual = residual
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        left = self.children[0].materialize(context)
+        if left.is_empty():
+            return Relation(self.schema, [])
+        right = self.children[1].materialize(context)
+        before = Partition.total_probes
+        result = left.join(right)
+        self.observed_probes = (self.observed_probes or 0) + (
+            Partition.total_probes - before
+        )
+        return result
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        self.observed_rows = 0
+        right = self.children[1].materialize(context)
+        residual = self._right_residual
+        if not self._shared:
+            if right.is_empty():
+                return
+            for row in self.children[0].iter_rows(context):
+                for match in right.rows:
+                    self.observed_rows += 1
+                    yield row + tuple(match[i] for i in residual)
+            return
+        if right.is_empty():
+            return
+        partition = right.partition(self._shared)
+        left_key = self._left_key
+        for row in self.children[0].iter_rows(context):
+            self._count_probe()
+            for match in partition.get(tuple(row[p] for p in left_key)):
+                self.observed_rows += 1
+                yield row + tuple(match[i] for i in residual)
+
+    def label(self) -> str:
+        joined = ", ".join(str(v) for v in self._shared)
+        return f"HashJoin[{joined or '×'}]"
+
+
+# ----------------------------------------------------------------------
+# Streaming enumeration of a whole join tree
+# ----------------------------------------------------------------------
+class _MemoCursor:
+    """A lazily-filled, shareable sequence of one node cursor's rows.
+
+    Wraps the generator producing a node's distinct partial tuples for one
+    probe key.  Consumers iterate by index into the shared ``rows`` list and
+    only the front-most consumer advances the underlying generator, so a
+    cursor that is probed with the same key by many parent rows (or resumed
+    across ``next()`` calls on the answer generator) pays for each distinct
+    tuple exactly once.  Exhaustion — including immediate exhaustion, i.e. a
+    dead end — is memoised too (``_source`` becomes ``None``).
+    """
+
+    __slots__ = ("rows", "_source")
+
+    def __init__(self, source: Iterator[Row]) -> None:
+        self.rows: List[Row] = []
+        self._source: Optional[Iterator[Row]] = source
+
+    def _pull(self) -> bool:
+        """Advance the source by one tuple; return whether one was added."""
+        if self._source is None:
+            return False
+        try:
+            row = next(self._source)
+        except StopIteration:
+            self._source = None
+            return False
+        self.rows.append(row)
+        return True
+
+    def has_any(self) -> bool:
+        """Whether the cursor yields at least one tuple (pulls at most one)."""
+        return bool(self.rows) or self._pull()
+
+    def __iter__(self) -> Iterator[Row]:
+        index = 0
+        while index < len(self.rows) or self._pull():
+            yield self.rows[index]
+            index += 1
+
+
+class _NodePlan:
+    """The compiled enumeration plan of one join-tree node (per execution).
+
+    All positions are resolved against the node's (already materialised)
+    relation schema once, so the inner enumeration loop runs on tuples and
+    integer indexes only:
+
+    * ``probe_variables`` — the variables this node is keyed by (shared with
+      the parent atom), in this relation's schema order; the node's
+      partition on them is what the parent probes;
+    * ``children`` — per child, ``(identifier, key_positions)`` where
+      ``key_positions`` index *this* node's rows and produce the child's
+      probe key (aligned with the child's ``probe_variables`` order);
+    * ``carry`` — the projection instructions producing this node's output
+      tuple: ``(source, position)`` pairs where source ``-1`` reads the
+      node's own row and source ``j ≥ 0`` reads child ``j``'s output tuple.
+    """
+
+    __slots__ = ("relation", "probe_variables", "children", "carry")
+
+    def __init__(
+        self,
+        relation: Relation,
+        probe_variables: Tuple[Variable, ...],
+        children: Tuple[Tuple[int, Tuple[int, ...]], ...],
+        carry: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        self.relation = relation
+        self.probe_variables = probe_variables
+        self.children = children
+        self.carry = carry
+
+
+class CursorEnumerate(Operator):
+    """Streaming phase 4: a join tree compiled into nested memoised cursors.
+
+    The node inputs (one operator per join-tree node — reduced semi-join
+    DAGs for the enumeration mode, raw scans for the Boolean short-circuit
+    mode) are materialised bottom-up on the first pull; every join-tree
+    node then becomes a family of cursors, one per probe key (the values of
+    the variables shared with the parent).  A cursor iterates its bucket of
+    the node relation's cached :class:`~repro.evaluation.relation
+    .Partition`, depth-first-combines each row with the matching child
+    cursors (consistency across children needs no checks: any variable
+    shared between two subtrees occurs in this node's atom and is therefore
+    fixed by the row), and yields the *distinct* projections onto the
+    node's carry schema.  Cursors are memoised per (node, key) — including
+    dead ends — so repeated probes share one traversal.
+
+    On globally consistent inputs (after the semi-join passes) every probed
+    bucket and every child cursor is non-empty, so no work is ever
+    discarded and the first output row costs O(join-tree) bucket probes; on
+    raw scans dead ends are possible but each is explored at most once.
+    """
+
+    __slots__ = ("tree", "node_ops", "node_carry", "_bottom_up")
+
+    def __init__(
+        self,
+        tree: JoinTree,
+        node_ops: Dict[int, Operator],
+        node_carry: Dict[int, Tuple[Variable, ...]],
+    ) -> None:
+        bottom_up = tree.bottom_up_order()
+        super().__init__(
+            node_carry[tree.root], tuple(node_ops[i] for i in bottom_up)
+        )
+        self.tree = tree
+        self.node_ops = dict(node_ops)
+        self.node_carry = dict(node_carry)
+        self._bottom_up = bottom_up
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        # The streamed carry tuples are distinct by construction.
+        return Relation(self.schema, list(self.iter_rows(context)))
+
+    def _node_plans(
+        self, relations: Dict[int, Relation]
+    ) -> Dict[int, _NodePlan]:
+        """Compile the per-node enumeration plans against concrete schemas.
+
+        Pure position arithmetic — O(query); no database work happens here.
+        """
+        tree = self.tree
+        carry = self.node_carry
+        plans: Dict[int, _NodePlan] = {}
+        for identifier in self._bottom_up:
+            relation = relations[identifier]
+            shared = tree.shared_with_parent(identifier)
+            probe_variables = tuple(v for v in relation.schema if v in shared)
+            children: List[Tuple[int, Tuple[int, ...]]] = []
+            child_ids = tree.children(identifier)
+            for child in child_ids:
+                # The child was compiled first (bottom-up order); its probe
+                # variables fix the key layout both sides agree on.
+                key_positions = tuple(
+                    relation.position(v) for v in plans[child].probe_variables
+                )
+                children.append((child, key_positions))
+            instructions: List[Tuple[int, int]] = []
+            for variable in carry[identifier]:
+                if variable in relation.variables():
+                    instructions.append((-1, relation.position(variable)))
+                    continue
+                # A carry variable outside the node's own atom lives in
+                # exactly one child subtree (two subtrees would force it
+                # into this atom by join-tree connectedness).
+                for index, child in enumerate(child_ids):
+                    child_carry = carry[child]
+                    if variable in child_carry:
+                        instructions.append((index, child_carry.index(variable)))
+                        break
+                else:  # pragma: no cover — impossible by connectedness
+                    raise AssertionError(
+                        f"carry variable {variable} unreachable at node {identifier}"
+                    )
+            plans[identifier] = _NodePlan(
+                relation, probe_variables, tuple(children), tuple(instructions)
+            )
+        return plans
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        self.observed_rows = 0
+        relations: Dict[int, Relation] = {}
+        for identifier in self._bottom_up:
+            relation = self.node_ops[identifier].materialize(context)
+            if relation.is_empty():
+                return
+            relations[identifier] = relation
+
+        plans = self._node_plans(relations)
+        memos: Dict[Tuple[int, Row], _MemoCursor] = {}
+
+        def cursor(identifier: int, key: Row) -> _MemoCursor:
+            memo = memos.get((identifier, key))
+            if memo is None:
+                memo = _MemoCursor(source(identifier, key))
+                memos[(identifier, key)] = memo
+            return memo
+
+        def source(identifier: int, key: Row) -> Iterator[Row]:
+            plan = plans[identifier]
+            if plan.probe_variables:
+                self._count_probe()
+                rows: Sequence[Row] = plan.relation.partition(
+                    plan.probe_variables
+                ).get(key)
+            else:
+                rows = plan.relation.rows
+            children = plan.children
+            instructions = plan.carry
+            seen: Set[Row] = set()
+            assembled: List[Row] = [()] * len(children)
+
+            def expand(row: Row, depth: int) -> Iterator[Row]:
+                if depth == len(children):
+                    out = tuple(
+                        row[position] if source_index < 0 else assembled[source_index][position]
+                        for source_index, position in instructions
+                    )
+                    if out not in seen:
+                        seen.add(out)
+                        yield out
+                    return
+                child_id, key_positions = children[depth]
+                child_key = tuple(row[p] for p in key_positions)
+                for child_row in cursor(child_id, child_key):
+                    assembled[depth] = child_row
+                    yield from expand(row, depth + 1)
+
+            for row in rows:
+                # Peek every child before combining: a dead child (possible
+                # only on unreduced relations) must not cost a scan of its
+                # siblings' cursors.
+                if all(
+                    cursor(child_id, tuple(row[p] for p in key_positions)).has_any()
+                    for child_id, key_positions in children
+                ):
+                    yield from expand(row, 0)
+
+        for row in cursor(self.tree.root, ()):
+            self.observed_rows += 1
+            yield row
+
+    def label(self) -> str:
+        return f"CursorEnumerate[{', '.join(str(v) for v in self.schema)}]"
+
+
+# ----------------------------------------------------------------------
+# Statistics and the cost model
+# ----------------------------------------------------------------------
+class Statistics:
+    """Per-database cardinality statistics, computed lazily and cached.
+
+    One instance is bound to one database state (the same immutability
+    discipline as :class:`~repro.evaluation.batch.ScanCache`).  Base
+    relations are served through the optional scan provider — so a batch
+    that already shares a ``ScanCache`` pays nothing extra for planning
+    statistics, and the partitions the planner builds for joint distinct
+    counts are the very partitions the executor later probes — or
+    materialised directly (one ``O(|R|)`` pass per predicate, cached here).
+
+    The statistics themselves live on the relations:
+    :meth:`Relation.column_distinct_counts` (per-column distinct counts)
+    and :meth:`Relation.key_distinct_count` / :meth:`Relation
+    .bucket_histogram` (joint counts and bucket-size histograms via the
+    cached partitions).
+    """
+
+    def __init__(
+        self, database: Instance, scans: Optional[ScanProvider] = None
+    ) -> None:
+        self.database = database
+        self._scans = scans
+        self._base: Dict[Predicate, Relation] = {}
+
+    def base_relation(self, predicate: Predicate) -> Relation:
+        """The full relation of ``predicate`` (cached)."""
+        relation = self._base.get(predicate)
+        if relation is None:
+            atom = Atom(
+                predicate,
+                tuple(Variable(f"_stat{i}") for i in range(predicate.arity)),
+            )
+            relation = Relation.from_atom(atom, self.database, self._scans)
+            self._base[predicate] = relation
+        return relation
+
+
+class CardinalityEstimate:
+    """A cost-model estimate: output rows plus per-variable distinct counts.
+
+    The per-variable counts are what lets join selectivities compose
+    through a plan without re-reading the data (System-R style propagation).
+    """
+
+    __slots__ = ("rows", "distinct")
+
+    def __init__(self, rows: float, distinct: Dict[Variable, float]) -> None:
+        self.rows = max(0.0, rows)
+        self.distinct = {
+            variable: max(0.0, min(count, self.rows))
+            for variable, count in distinct.items()
+        }
+
+    def joint_distinct(self, variables: Sequence[Variable]) -> float:
+        """Estimated distinct value tuples over ``variables`` (≤ rows)."""
+        product = 1.0
+        for variable in variables:
+            product *= max(1.0, self.distinct.get(variable, 1.0))
+        return min(self.rows, product) if variables else min(self.rows, 1.0)
+
+
+class CostModel:
+    """Textbook selection/join selectivities over cached statistics.
+
+    :meth:`annotate` walks a plan DAG once (memoised per node), computes a
+    :class:`CardinalityEstimate` per operator and stores the row estimate
+    in :attr:`Operator.estimated_rows` — the "est" column of ``EXPLAIN``
+    and the quantity the greedy planner minimises.
+
+    The formulas (``d(v)`` = distinct count of ``v``, capped by rows):
+
+    * ``Scan`` — base cardinality; constant selections are costed from the
+      base relation's cached bucket-size histogram over the pinned columns
+      (probe-weighted expected bucket size ``Σ size² / rows`` — the mean
+      bucket under uniformity, more under skew), repeated-variable pairs
+      cost ``1 / max(d(i), d(j))`` each;
+    * ``Select`` — ``1 / d(v)`` per bound variable;
+    * ``SemiJoin`` — ``|L| · min(1, dR(V) / dL(V))`` on shared variables
+      ``V`` (joint counts);
+    * ``HashJoin`` — ``|L| · |R| / ∏_{v ∈ V} max(dL(v), dR(v))``; the cross
+      product when ``V`` is empty;
+    * ``Project`` / ``Distinct`` — ``min(|input|, ∏ d(v))`` over the kept
+      variables;
+    * ``CursorEnumerate`` — the hash-join/projection estimate of its join
+      tree, folded bottom-up with the formulas above.
+    """
+
+    def __init__(self, statistics: Statistics) -> None:
+        self.statistics = statistics
+        self._memo: Dict[int, CardinalityEstimate] = {}
+        self._scan_memo: Dict[Atom, CardinalityEstimate] = {}
+
+    # -- public entry ---------------------------------------------------
+    def annotate(self, operator: Operator) -> CardinalityEstimate:
+        """Estimate ``operator`` (and every descendant), memoised per node."""
+        memo = self._memo.get(id(operator))
+        if memo is not None:
+            return memo
+        estimate = self._estimate(operator)
+        operator.estimated_rows = estimate.rows
+        self._memo[id(operator)] = estimate
+        return estimate
+
+    def scan_estimate(self, atom: Atom) -> CardinalityEstimate:
+        """The estimate of scanning ``atom`` (shared with the planner).
+
+        Memoised per atom: the greedy planner scores the same atoms
+        repeatedly and ``_plan_from_order`` re-derives the chosen order's
+        estimates, so the (histogram-walking) work is paid once.
+        """
+        memo = self._scan_memo.get(atom)
+        if memo is not None:
+            return memo
+        estimate = self._scan_estimate(atom)
+        self._scan_memo[atom] = estimate
+        return estimate
+
+    def _scan_estimate(self, atom: Atom) -> CardinalityEstimate:
+        base = self.statistics.base_relation(atom.predicate)
+        pattern = compile_scan_pattern(atom.terms)
+        rows = float(len(base))
+        counts = base.column_distinct_counts()  # all zeros when empty
+        if rows and pattern.constant_checks:
+            pinned = [base.schema[p] for p, _ in pattern.constant_checks]
+            # Probe-weighted expected bucket size from the cached
+            # bucket-size histogram: Σ size²·count / rows.  Equals
+            # rows / distinct-keys on uniform data and grows under skew
+            # (frequent keys are the ones anchors hit proportionally more
+            # often), so skewed columns are not under-estimated.
+            histogram = base.bucket_histogram(pinned)
+            rows = sum(size * size * count for size, count in histogram.items()) / rows
+        for position, first in pattern.equality_checks:
+            rows /= max(counts[position], counts[first], 1)
+        distinct = {
+            variable: float(counts[position])
+            for variable, position in zip(pattern.variables, pattern.output_positions)
+        }
+        return CardinalityEstimate(rows, distinct)  # type: ignore[arg-type]
+
+    def join_estimate(
+        self, left: CardinalityEstimate, right: CardinalityEstimate
+    ) -> CardinalityEstimate:
+        """The hash-join estimate (shared with the greedy planner)."""
+        shared = [v for v in left.distinct if v in right.distinct]
+        rows = left.rows * right.rows
+        for variable in shared:
+            rows /= max(
+                left.distinct.get(variable, 1.0), right.distinct.get(variable, 1.0), 1.0
+            )
+        distinct: Dict[Variable, float] = {}
+        for variable, count in left.distinct.items():
+            other = right.distinct.get(variable)
+            distinct[variable] = min(count, other) if other is not None else count
+        for variable, count in right.distinct.items():
+            distinct.setdefault(variable, count)
+        return CardinalityEstimate(rows, distinct)
+
+    # -- per-operator dispatch ------------------------------------------
+    def _estimate(self, operator: Operator) -> CardinalityEstimate:
+        if isinstance(operator, Scan):
+            return self.scan_estimate(operator.atom)
+        if isinstance(operator, Select):
+            child = self.annotate(operator.children[0])
+            rows = child.rows
+            distinct = dict(child.distinct)
+            for variable in operator.binding:
+                if variable in distinct:
+                    rows /= max(distinct[variable], 1.0)
+                    distinct[variable] = 1.0
+            return CardinalityEstimate(rows, distinct)
+        if isinstance(operator, (Project, Distinct)):
+            child = self.annotate(operator.children[0])
+            kept = operator.schema
+            rows = child.joint_distinct(kept)
+            return CardinalityEstimate(
+                rows, {v: child.distinct.get(v, 1.0) for v in kept}
+            )
+        if isinstance(operator, SemiJoin):
+            left = self.annotate(operator.children[0])
+            right = self.annotate(operator.children[1])
+            shared = operator._shared
+            left_keys = left.joint_distinct(shared)
+            right_keys = right.joint_distinct(shared)
+            fraction = min(1.0, right_keys / left_keys) if left_keys else 0.0
+            if right.rows == 0:
+                fraction = 0.0
+            rows = left.rows * fraction
+            distinct = {
+                variable: min(count, right.distinct.get(variable, count))
+                if variable in shared
+                else count
+                for variable, count in left.distinct.items()
+            }
+            return CardinalityEstimate(rows, distinct)
+        if isinstance(operator, HashJoin):
+            return self.join_estimate(
+                self.annotate(operator.children[0]),
+                self.annotate(operator.children[1]),
+            )
+        if isinstance(operator, CursorEnumerate):
+            return self._enumerate_estimate(operator)
+        raise TypeError(f"no cost formula for {type(operator).__name__}")
+
+    def _enumerate_estimate(self, operator: CursorEnumerate) -> CardinalityEstimate:
+        tree = operator.tree
+        partial: Dict[int, CardinalityEstimate] = {}
+        for identifier in operator._bottom_up:
+            estimate = self.annotate(operator.node_ops[identifier])
+            for child in tree.children(identifier):
+                estimate = self.join_estimate(estimate, partial[child])
+            carry = operator.node_carry[identifier]
+            partial[identifier] = CardinalityEstimate(
+                estimate.joint_distinct(carry),
+                {v: estimate.distinct.get(v, 1.0) for v in carry},
+            )
+        return partial[tree.root]
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN rendering
+# ----------------------------------------------------------------------
+def _format_count(value: Optional[float]) -> str:
+    if value is None:
+        return "?"
+    return str(int(round(value)))
+
+
+def render_plan(root: Operator, indent: str = "  ") -> str:
+    """Pretty-print a plan tree with per-operator estimated vs. observed rows.
+
+    Reduction plans are DAGs (the top-down semi-join pass re-reads the
+    parent's reduced operator); a node already printed is referenced as
+    ``(shared, shown above)`` instead of being expanded again, keeping the
+    rendering linear in the DAG size.
+    """
+    lines: List[str] = []
+    seen: Set[int] = set()
+
+    def visit(operator: Operator, depth: int) -> None:
+        prefix = indent * depth
+        if id(operator) in seen:
+            lines.append(f"{prefix}{operator.label()}  (shared, shown above)")
+            return
+        seen.add(id(operator))
+        probes = (
+            f", probes={operator.observed_probes}"
+            if operator.observed_probes is not None
+            else ""
+        )
+        lines.append(
+            f"{prefix}{operator.label()}  "
+            f"(est={_format_count(operator.estimated_rows)}, "
+            f"obs={_format_count(operator.observed_rows)}{probes})"
+        )
+        for child in operator.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)

@@ -183,6 +183,21 @@ class Partition:
     def __len__(self) -> int:
         return len(self.buckets)
 
+    def histogram(self) -> Dict[int, int]:
+        """The bucket-size histogram: ``{bucket size: number of keys}``.
+
+        The histogram summarises the value distribution of the partition's
+        key columns — ``len(partition)`` distinct keys, skew visible as
+        large bucket sizes — and feeds the cost model of
+        :mod:`repro.evaluation.operators` (expected rows per probed key,
+        join-output estimates).  ``O(keys)``; not cached (callers cache the
+        partition itself).
+        """
+        histogram: Dict[int, int] = {}
+        for rows in self.buckets.values():
+            histogram[len(rows)] = histogram.get(len(rows), 0) + 1
+        return histogram
+
 
 class Relation:
     """An ordered variable schema together with a list of term tuples.
@@ -193,7 +208,7 @@ class Relation:
     schemas compose freely.
     """
 
-    __slots__ = ("schema", "rows", "_positions", "_partitions")
+    __slots__ = ("schema", "rows", "_positions", "_partitions", "_stats")
 
     def __init__(self, schema: Sequence[Variable], rows: Iterable[Row] = ()) -> None:
         self.schema: Tuple[Variable, ...] = tuple(schema)
@@ -204,6 +219,10 @@ class Relation:
             variable: index for index, variable in enumerate(self.schema)
         }
         self._partitions: Dict[Tuple[int, ...], Partition] = {}
+        # Cached, position-keyed statistics (column distinct counts).  Shared
+        # by reference across with_schema views — statistics, like
+        # partitions, depend on column positions only, never on names.
+        self._stats: Dict[object, object] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -322,6 +341,50 @@ class Relation:
             self._partitions[positions] = part
         return part
 
+    # ------------------------------------------------------------------
+    # Cached statistics (the substrate of the operator-IR cost model)
+    # ------------------------------------------------------------------
+    def column_distinct_counts(self) -> Tuple[int, ...]:
+        """Per-column distinct term counts, computed once and cached.
+
+        One ``O(rows · arity)`` pass; the result is shared across
+        :meth:`with_schema` views (distinct counts are positional).  Like
+        the partition cache, the statistics assume the rows are never
+        mutated after the first call.
+        """
+        cached = self._stats.get("column_distincts")
+        if cached is None:
+            seen: List[Set[Term]] = [set() for _ in self.schema]
+            for row in self.rows:
+                for column, term in zip(seen, row):
+                    column.add(term)
+            cached = tuple(len(column) for column in seen)
+            self._stats["column_distincts"] = cached
+        return cached  # type: ignore[return-value]
+
+    def distinct_count(self, variable: Variable) -> int:
+        """The number of distinct terms in ``variable``'s column."""
+        return self.column_distinct_counts()[self.position(variable)]
+
+    def key_distinct_count(self, variables: Sequence[Variable]) -> int:
+        """The number of distinct value *tuples* over ``variables``.
+
+        Served by the cached partition on those columns, so the count is
+        free whenever a semi-join/join already partitioned the relation the
+        same way (and conversely: a count requested by the planner warms the
+        partition the executor will probe).
+        """
+        if not variables:
+            return 1 if self.rows else 0
+        return len(self.partition(variables))
+
+    def bucket_histogram(self, variables: Sequence[Variable]) -> Dict[int, int]:
+        """Bucket-size histogram of the partition by ``variables``.
+
+        See :meth:`Partition.histogram`; the partition itself is cached.
+        """
+        return self.partition(variables).histogram()
+
     def with_schema(self, schema: Sequence[Variable]) -> "Relation":
         """An ``O(1)`` view of this relation under a renamed schema.
 
@@ -344,6 +407,7 @@ class Relation:
         view.rows = self.rows
         view._positions = {variable: index for index, variable in enumerate(schema)}
         view._partitions = self._partitions
+        view._stats = self._stats
         return view
 
     def semijoin(self, other: "Relation") -> "Relation":

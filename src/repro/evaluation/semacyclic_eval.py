@@ -18,6 +18,13 @@ Three routes are implemented:
   database at once, sharing the phase-1 atom scans and hash partitions
   through a :class:`repro.evaluation.batch.ScanCache` — the serving-path
   amortisation for query batches over overlapping predicates.
+
+Route selection is shared: :func:`resolve_route` picks
+Yannakakis / reformulation / greedy-plan exactly once for
+:func:`evaluate_iter`, :class:`~repro.evaluation.batch.BatchEvaluator` and
+the CLI alike, and :func:`explain` pretty-prints whichever physical
+operator plan the chosen route compiles, with the cost model's estimated
+cardinalities next to the executed, observed ones.
 """
 
 from __future__ import annotations
@@ -31,10 +38,11 @@ from ..datamodel import GroundTerm, Instance, Term
 from ..dependencies.egd import EGD
 from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
-from .batch import BatchEvaluator
+from .batch import BatchEvaluator, ScanCache
 from .cover_game import CoverEngine, instance_covers_database, query_covers_database
 from .generic import membership_generic
-from .join_plans import iter_with_plan
+from .join_plans import explain_plan, iter_with_plan, plan_greedy
+from .operators import Statistics
 from .relation import Relation, ScanProvider
 from .yannakakis import AcyclicityRequired, YannakakisEvaluator
 
@@ -118,6 +126,52 @@ def evaluate_via_reformulation(
     return SemAcEvaluation.from_reformulation(query, reformulation).evaluate(database)
 
 
+def resolve_route(
+    query: ConjunctiveQuery,
+    *,
+    tgds: Sequence[TGD] = (),
+    engine: str = "auto",
+) -> Tuple[str, Optional[YannakakisEvaluator]]:
+    """Pick the evaluation route for ``query`` (shared by every entry point).
+
+    Returns ``(route, evaluator)`` where ``route`` is one of
+    ``"yannakakis"`` (the query is acyclic — ``evaluator`` runs it),
+    ``"reformulated"`` (Proposition 24 — ``evaluator`` runs the acyclic
+    reformulation) or ``"plan"`` (greedy join-plan fallback, ``evaluator``
+    is ``None``).  ``engine`` forces a route the same way it does on
+    :func:`evaluate_iter`; routing work (join tree construction, the
+    reformulation search) happens here, eagerly.
+
+    Raises:
+        ValueError: for an unknown ``engine``.
+        AcyclicityRequired: for ``engine="yannakakis"`` on a cyclic query.
+        NotSemanticallyAcyclic: for ``engine="reformulation"`` when the
+            tgds admit no acyclic reformulation.
+    """
+    if engine not in ("auto", "yannakakis", "reformulation", "plan"):
+        raise ValueError(
+            f"unknown evaluation engine {engine!r} "
+            "(use 'auto', 'yannakakis', 'reformulation' or 'plan')"
+        )
+    if engine in ("auto", "yannakakis"):
+        try:
+            return ("yannakakis", YannakakisEvaluator(query))
+        except AcyclicityRequired:
+            if engine == "yannakakis":
+                raise
+    if engine in ("auto", "reformulation") and (tgds or engine == "reformulation"):
+        from ..core.semantic_acyclicity import find_acyclic_reformulation_tgds
+
+        reformulation = find_acyclic_reformulation_tgds(query, tgds)
+        if reformulation is not None:
+            return ("reformulated", YannakakisEvaluator(reformulation))
+        if engine == "reformulation":
+            raise NotSemanticallyAcyclic(
+                f"{query.name} is not semantically acyclic under the given tgds"
+            )
+    return ("plan", None)
+
+
 def evaluate_iter(
     query: ConjunctiveQuery,
     database: Instance,
@@ -152,32 +206,61 @@ def evaluate_iter(
     tree / reformulation search / planning) happens eagerly at call time, so
     route errors surface here rather than at the first ``next()``.
     """
-    if engine not in ("auto", "yannakakis", "reformulation", "plan"):
-        raise ValueError(
-            f"unknown streaming engine {engine!r} "
-            "(use 'auto', 'yannakakis', 'reformulation' or 'plan')"
-        )
-    if engine in ("auto", "yannakakis"):
-        try:
-            evaluator = YannakakisEvaluator(query)
-        except AcyclicityRequired:
-            if engine == "yannakakis":
-                raise
-        else:
-            return evaluator.iter_answers(database, scans=scans, limit=limit)
-    if engine in ("auto", "reformulation") and (tgds or engine == "reformulation"):
-        from ..core.semantic_acyclicity import find_acyclic_reformulation_tgds
-
-        reformulation = find_acyclic_reformulation_tgds(query, tgds)
-        if reformulation is not None:
-            return YannakakisEvaluator(reformulation).iter_answers(
-                database, scans=scans, limit=limit
-            )
-        if engine == "reformulation":
-            raise NotSemanticallyAcyclic(
-                f"{query.name} is not semantically acyclic under the given tgds"
-            )
+    route, evaluator = resolve_route(query, tgds=tgds, engine=engine)
+    if evaluator is not None:  # "yannakakis" and "reformulated"
+        return evaluator.iter_answers(database, scans=scans, limit=limit)
     return iter_with_plan(query, database, scans=scans, limit=limit)
+
+
+def explain(
+    query: ConjunctiveQuery,
+    database: Instance,
+    *,
+    tgds: Sequence[TGD] = (),
+    engine: str = "auto",
+    scans: Optional[ScanProvider] = None,
+    execute: bool = True,
+) -> str:
+    """Pretty-print the physical plan chosen for ``query`` over ``database``.
+
+    The output names the route (``yannakakis`` / ``reformulated`` /
+    ``plan``, selected exactly as in :func:`evaluate_iter` via
+    :func:`resolve_route`) and renders the compiled operator tree with each
+    operator's **estimated** cardinality (the statistics-calibrated
+    :class:`~repro.evaluation.operators.CostModel`) next to its
+    **observed** one — unless ``execute=False``, the plan is actually run
+    against the database, so mis-estimates are visible line by line::
+
+        query: q(x, z) :- S1(x, y), S2(y, z)
+        route: yannakakis
+        Project[x, z]  (est=94, obs=87)
+          ...
+            Scan[S1(x, y)]  (est=300, obs=300)
+
+    ``engine`` forces a route; ``scans`` injects a shared
+    :class:`~repro.evaluation.batch.ScanCache` (the statistics then reuse
+    its base scans).  Raises like :func:`evaluate_iter` on impossible
+    forced routes.
+    """
+    route, evaluator = resolve_route(query, tgds=tgds, engine=engine)
+    if scans is None:
+        # One cache for everything explain does — statistics, planning and
+        # the executed plan all draw the same base scans and partitions.
+        scans = ScanCache(database)
+    lines = [f"query: {query}", f"route: {route}"]
+    if evaluator is not None:
+        if route == "reformulated":
+            lines.append(f"reformulation: {evaluator.query}")
+        lines.append(evaluator.explain(database, scans=scans, execute=execute))
+    else:
+        statistics = Statistics(database, scans)
+        plan = plan_greedy(query, database, scans=scans, statistics=statistics)
+        lines.append(
+            explain_plan(
+                plan, database, scans=scans, statistics=statistics, execute=execute
+            )
+        )
+    return "\n".join(lines)
 
 
 def evaluate_batch(

@@ -1,140 +1,82 @@
-"""Yannakakis' algorithm for evaluating acyclic CQs [27].
+"""Yannakakis' algorithm for evaluating acyclic CQs [27], compiled onto the
+physical-operator IR of :mod:`repro.evaluation.operators`.
 
 Acyclic CQs can be evaluated in time ``O(|q| · |D|)`` (plus output size).
-The implementation follows the textbook four-phase scheme over a join tree
-of the query:
+The evaluator keeps the textbook shape — a join tree, two semi-join passes,
+then answer assembly — but instead of hand-rolling the four phases it
+*emits a plan*:
 
-1. materialise, for every join-tree node, the :class:`Relation` of its atom
-   over the database (one linear scan per atom);
-2. bottom-up semi-join pass: reduce every node by each of its children;
-3. top-down semi-join pass: reduce every node by its parent;
-4. answers are enumerated bottom-up, carrying only the free variables plus
-   the connecting variables of each subtree.
+1. one :class:`~repro.evaluation.operators.Scan` per join-tree node;
+2. the bottom-up and top-down semi-join passes as a DAG of
+   :class:`~repro.evaluation.operators.SemiJoin` reducers (shared
+   sub-operators are materialised once — the top-down pass re-reads the
+   parent's reduced operator);
+3. answer assembly in one of two forms:
 
-Phase 4 exists in two forms:
-
-* :meth:`YannakakisEvaluator.evaluate` / :meth:`~YannakakisEvaluator
-  .answer_relation` — the *materialising* form: one bottom-up pass of hash
-  joins, linear in input plus output, returning the full answer set;
-* :meth:`YannakakisEvaluator.iter_answers` — the *streaming* form: the join
-  tree is compiled into nested per-node cursors that probe the cached
-  :class:`~repro.evaluation.relation.Partition` objects of the reduced
-  node relations and yield answers one at a time.  After the two semi-join
-  passes every probed bucket is non-empty (global consistency), so the
-  enumeration never dead-ends: the first answer arrives after O(join-tree)
-  bucket probes, long before the output is complete, and ``limit``-style
-  consumers stop the work early.  This is the constant-delay regime of the
-  free-connex acyclic CQ literature (Bagan–Durand–Grandjean, Brault-Baron);
-  for queries that are acyclic but *not* free-connex the delay between two
-  distinct answers can exceed any constant (projection may force the
-  cursors through duplicate partial tuples), which is provably unavoidable.
+   * **materialising** (:meth:`YannakakisEvaluator.evaluate` /
+     :meth:`~YannakakisEvaluator.answer_relation`): a bottom-up tree of
+     :class:`~repro.evaluation.operators.HashJoin` +
+     :class:`~repro.evaluation.operators.Project` operators carrying each
+     node's carry schema — linear in input plus output;
+   * **streaming** (:meth:`YannakakisEvaluator.iter_answers`): a
+     :class:`~repro.evaluation.operators.CursorEnumerate` operator — the
+     join tree compiled into nested per-(node, key) memoised cursors
+     probing the cached :class:`~repro.evaluation.relation.Partition`
+     buckets.  After the two semi-join passes every probed bucket is
+     non-empty (global consistency), so the enumeration never dead-ends:
+     the first answer arrives after O(join-tree) bucket probes, long
+     before the output is complete, and ``limit``-style consumers stop
+     the work early.  This is the constant-delay regime of the
+     free-connex acyclic CQ literature (Bagan–Durand–Grandjean,
+     Brault-Baron); for queries that are acyclic but *not* free-connex
+     the delay between two distinct answers can exceed any constant,
+     which is provably unavoidable.
 
 Boolean evaluation short-circuits on the *first* answer: it skips the
-semi-join passes entirely and runs the same cursor machinery directly on
-the phase-1 scans (memoising dead ends), stopping as soon as one witness
-combination exists.
+semi-join reducers entirely and runs a ``CursorEnumerate`` directly over
+the raw scans with the Boolean carry schemas (memoising dead ends),
+stopping as soon as one witness combination exists.
 
-Every pass runs on the hash-partitioned operators of
-:mod:`repro.evaluation.relation`, so phases 1–3 are genuinely linear in the
-database size and phase 4 is linear in input plus output.  (An earlier
-implementation kept rows as ``Dict[Variable, Term]`` and compared them with
-nested scans, which made the passes quadratic; it survives as a test-only
-differential oracle in ``tests/helpers/yannakakis_dict.py``.)
+Because every operator records its observed cardinality, the same compiled
+plans back the ``explain`` API (:func:`repro.evaluation.semacyclic_eval
+.explain`): :meth:`YannakakisEvaluator.explain` annotates a materialising
+plan with the :class:`~repro.evaluation.operators.CostModel` estimates,
+executes it, and pretty-prints estimated vs. observed rows per operator.
 
-Phase 1 is injectable: every evaluation entry point accepts a scan provider
-(``scans=``, see :class:`repro.evaluation.relation.ScanProvider`) that serves
-the per-atom base relations instead of rebuilding them with
-:meth:`Relation.from_atom` on every call.  Batched evaluation
-(:mod:`repro.evaluation.batch`) uses this to amortise the atom scans and
-their hash partitions across many queries sharing predicates.
+Plans are compiled fresh per evaluation call (pure position arithmetic,
+``O(query)``); everything that depends only on the query — the join tree,
+the traversal orders and the per-node carry schemas — is computed once in
+the constructor.  Phase 1 stays injectable: every entry point accepts a
+scan provider (``scans=``, see :class:`repro.evaluation.relation
+.ScanProvider`) so the per-atom base relations can come from a shared
+:class:`repro.evaluation.batch.ScanCache`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..datamodel import Instance, Term, Variable
 from ..hypergraph import JoinTree, JoinTreeError, build_join_tree, query_connectors
 from ..queries.cq import ConjunctiveQuery
-from .relation import Relation, Row, ScanProvider
+from .operators import (
+    CostModel,
+    CursorEnumerate,
+    ExecutionContext,
+    HashJoin,
+    Operator,
+    Project,
+    Scan,
+    SemiJoin,
+    Statistics,
+    first_occurrence_schema,
+    render_plan,
+)
+from .relation import Relation, ScanProvider
 
 
 class AcyclicityRequired(ValueError):
     """Raised when Yannakakis' algorithm is applied to a cyclic query."""
-
-
-class _MemoCursor:
-    """A lazily-filled, shareable sequence of one node cursor's rows.
-
-    Wraps the generator producing a node's distinct partial tuples for one
-    probe key.  Consumers iterate by index into the shared ``rows`` list and
-    only the front-most consumer advances the underlying generator, so a
-    cursor that is probed with the same key by many parent rows (or resumed
-    across ``next()`` calls on the answer generator) pays for each distinct
-    tuple exactly once.  Exhaustion — including immediate exhaustion, i.e. a
-    dead end — is memoised too (``_source`` becomes ``None``).
-    """
-
-    __slots__ = ("rows", "_source")
-
-    def __init__(self, source: Iterator[Row]) -> None:
-        self.rows: List[Row] = []
-        self._source: Optional[Iterator[Row]] = source
-
-    def _pull(self) -> bool:
-        """Advance the source by one tuple; return whether one was added."""
-        if self._source is None:
-            return False
-        try:
-            row = next(self._source)
-        except StopIteration:
-            self._source = None
-            return False
-        self.rows.append(row)
-        return True
-
-    def has_any(self) -> bool:
-        """Whether the cursor yields at least one tuple (pulls at most one)."""
-        return bool(self.rows) or self._pull()
-
-    def __iter__(self) -> Iterator[Row]:
-        index = 0
-        while index < len(self.rows) or self._pull():
-            yield self.rows[index]
-            index += 1
-
-
-class _NodePlan:
-    """The compiled enumeration plan of one join-tree node (per evaluation).
-
-    All positions are resolved against the node's (already materialised)
-    relation schema once, so the inner enumeration loop runs on tuples and
-    integer indexes only:
-
-    * ``probe_variables`` — the variables this node is keyed by (shared with
-      the parent atom), in this relation's schema order; the node's
-      partition on them is what the parent probes;
-    * ``children`` — per child, ``(identifier, key_positions)`` where
-      ``key_positions`` index *this* node's rows and produce the child's
-      probe key (aligned with the child's ``probe_variables`` order);
-    * ``carry`` — the projection instructions producing this node's output
-      tuple: ``(source, position)`` pairs where source ``-1`` reads the
-      node's own row and source ``j ≥ 0`` reads child ``j``'s output tuple.
-    """
-
-    __slots__ = ("relation", "probe_variables", "children", "carry")
-
-    def __init__(
-        self,
-        relation: Relation,
-        probe_variables: Tuple[Variable, ...],
-        children: Tuple[Tuple[int, Tuple[int, ...]], ...],
-        carry: Tuple[Tuple[int, int], ...],
-    ) -> None:
-        self.relation = relation
-        self.probe_variables = probe_variables
-        self.children = children
-        self.carry = carry
 
 
 class YannakakisEvaluator:
@@ -142,11 +84,11 @@ class YannakakisEvaluator:
 
     Everything that depends only on the query — the join tree, the traversal
     orders and the per-node carry schemas — is computed once in the
-    constructor; :meth:`evaluate` and :meth:`boolean` then only pay the
-    per-database cost.
+    constructor; each evaluation call then compiles an O(query)-sized
+    operator plan and executes it against the database.
 
     ``scans`` (constructor default, overridable per call) injects a scan
-    provider for phase 1 — typically a
+    provider for the base-atom scans — typically a
     :class:`repro.evaluation.batch.ScanCache` shared by a batch of queries —
     so the per-atom scans and their partitions are materialised once instead
     of once per evaluator call.
@@ -175,7 +117,7 @@ class YannakakisEvaluator:
         self._boolean_carry: Optional[Dict[int, Tuple[Variable, ...]]] = None
 
     def _carry_schemas(self, free: Set[Variable]) -> Dict[int, Tuple[Variable, ...]]:
-        """Per node, the variables its phase-4 partial result must expose.
+        """Per node, the variables its answer-assembly output must expose.
 
         A node forwards exactly the ``free`` variables seen anywhere in its
         subtree plus the variables it shares with its parent; by the
@@ -199,179 +141,80 @@ class YannakakisEvaluator:
         return carry
 
     # ------------------------------------------------------------------
-    def _phase1(
-        self, database: Instance, scans: Optional[ScanProvider]
-    ) -> Optional[Dict[int, Relation]]:
-        """Materialise the per-node atom relations, or ``None`` if one is empty."""
-        provider = scans if scans is not None else self._scans
-        relations: Dict[int, Relation] = {}
-        for node in self.join_tree.nodes():
-            relation = Relation.from_atom(node.atom, database, provider)
-            if relation.is_empty():
-                return None
-            relations[node.identifier] = relation
-        return relations
+    # Plan compilation (pure position arithmetic, no database work)
+    # ------------------------------------------------------------------
+    def compile_reduction(self, *, reduce: bool = True) -> Dict[int, Operator]:
+        """The per-node reduced operators: scans plus both semi-join passes.
 
-    def _reduce(
-        self,
-        database: Instance,
-        scans: Optional[ScanProvider] = None,
-    ) -> Optional[Dict[int, Relation]]:
-        """Phases 1–3; returns the per-node reduced relations or ``None``.
-
-        ``scans`` overrides the constructor-injected scan provider for
-        phase 1.  After both semi-join passes the relations are *globally
-        consistent*: every remaining row of every node participates in at
-        least one answer of the (Boolean reading of the) query.
+        Returns a DAG — the top-down pass wires every node's reducer to its
+        parent's, so a parent operator is shared by all of its children and
+        materialised once.  With ``reduce=False`` the raw scans are
+        returned (the Boolean short-circuit mode).
         """
-        relations = self._phase1(database, scans)
-        if relations is None:
-            return None
-
+        ops: Dict[int, Operator] = {
+            node.identifier: Scan(node.atom) for node in self.join_tree.nodes()
+        }
+        if not reduce:
+            return ops
         # Bottom-up semi-joins.
         for identifier in self._bottom_up:
             for child in self.join_tree.children(identifier):
-                reduced = relations[identifier].semijoin(relations[child])
-                if reduced.is_empty():
-                    return None
-                relations[identifier] = reduced
-
-        # Top-down semi-joins.
+                ops[identifier] = SemiJoin(ops[identifier], ops[child])
+        # Top-down semi-joins (reading the parent's *final* reducer).
         for identifier in self._top_down:
             parent = self.join_tree.parent(identifier)
-            if parent is None:
-                continue
-            reduced = relations[identifier].semijoin(relations[parent])
-            if reduced.is_empty():
-                return None
-            relations[identifier] = reduced
-        return relations
+            if parent is not None:
+                ops[identifier] = SemiJoin(ops[identifier], ops[parent])
+        return ops
 
-    # ------------------------------------------------------------------
-    # Streaming phase 4: nested per-node cursors
-    # ------------------------------------------------------------------
-    def _node_plans(
-        self, relations: Dict[int, Relation], carry: Dict[int, Tuple[Variable, ...]]
-    ) -> Dict[int, _NodePlan]:
-        """Compile the per-node enumeration plans against concrete schemas.
+    def compile_answer_plan(self) -> Operator:
+        """The materialising plan: reducers + bottom-up hash-join assembly.
 
-        Pure position arithmetic — O(query); no database work happens here.
+        After the semi-join passes every row of every node participates in
+        at least one answer, so each hash join is linear in its input plus
+        its output; each node projects onto its carry schema, and the root
+        projects onto the distinct head variables.
         """
-        tree = self.join_tree
-        plans: Dict[int, _NodePlan] = {}
+        ops = self.compile_reduction()
+        partial: Dict[int, Operator] = {}
         for identifier in self._bottom_up:
-            relation = relations[identifier]
-            parent = tree.parent(identifier)
-            if parent is None:
-                probe_variables: Tuple[Variable, ...] = ()
-            else:
-                parent_variables = self._node_variables[parent]
-                probe_variables = tuple(
-                    v for v in relation.schema if v in parent_variables
-                )
-            children: List[Tuple[int, Tuple[int, ...]]] = []
-            child_ids = tree.children(identifier)
-            for child in child_ids:
-                # The child was compiled first (bottom-up order); its probe
-                # variables fix the key layout both sides agree on.
-                key_positions = tuple(
-                    relation.position(v) for v in plans[child].probe_variables
-                )
-                children.append((child, key_positions))
-            instructions: List[Tuple[int, int]] = []
-            for variable in carry[identifier]:
-                if variable in relation.variables():
-                    instructions.append((-1, relation.position(variable)))
-                    continue
-                # A carry variable outside the node's own atom lives in
-                # exactly one child subtree (two subtrees would force it
-                # into this atom by join-tree connectedness).
-                for index, child in enumerate(child_ids):
-                    child_carry = carry[child]
-                    if variable in child_carry:
-                        instructions.append((index, child_carry.index(variable)))
-                        break
-                else:  # pragma: no cover — impossible by connectedness
-                    raise AssertionError(
-                        f"carry variable {variable} unreachable at node {identifier}"
-                    )
-            plans[identifier] = _NodePlan(
-                relation, probe_variables, tuple(children), tuple(instructions)
-            )
-        return plans
+            op = ops[identifier]
+            for child in self.join_tree.children(identifier):
+                op = HashJoin(op, partial[child])
+            partial[identifier] = Project(op, self._carry[identifier])
+        root = partial[self.join_tree.root]
+        head_schema = first_occurrence_schema(self.query.head)
+        if head_schema == root.schema:
+            return root
+        return Project(root, head_schema)
 
-    def _stream(
-        self, relations: Dict[int, Relation], carry: Dict[int, Tuple[Variable, ...]]
-    ) -> Iterator[Row]:
-        """Lazily yield the distinct carry tuples of the join-tree root.
+    def compile_stream_plan(
+        self, *, reduce: bool = True, boolean: bool = False
+    ) -> CursorEnumerate:
+        """The streaming plan: reducers (or raw scans) under a cursor tree.
 
-        Every join-tree node becomes a family of cursors, one per probe key
-        (the values of the variables shared with the parent).  A cursor
-        iterates its bucket of the node relation's cached
-        :class:`~repro.evaluation.relation.Partition`, depth-first-combines
-        each row with the matching child cursors (consistency across
-        children needs no checks: any variable shared between two subtrees
-        occurs in this node's atom and is therefore fixed by the row), and
-        yields the *distinct* projections onto the node's carry schema.
-        Cursors are memoised per (node, key) — including dead ends — so
-        repeated probes share one traversal.
-
-        On globally consistent relations (after :meth:`_reduce`) every
-        probed bucket and every child cursor is non-empty, so no work is
-        ever discarded; on raw phase-1 scans (the Boolean short-circuit
-        path) dead ends are possible but each is explored at most once.
+        ``boolean=True`` swaps in the Boolean carry schemas (connecting
+        variables only), which is how :meth:`boolean` stops at the first
+        witness combination.
         """
-        plans = self._node_plans(relations, carry)
-        memos: Dict[Tuple[int, Row], _MemoCursor] = {}
+        if boolean:
+            if self._boolean_carry is None:
+                self._boolean_carry = self._carry_schemas(set())
+            carry = self._boolean_carry
+        else:
+            carry = self._carry
+        return CursorEnumerate(
+            self.join_tree, self.compile_reduction(reduce=reduce), carry
+        )
 
-        def cursor(identifier: int, key: Row) -> _MemoCursor:
-            memo = memos.get((identifier, key))
-            if memo is None:
-                memo = _MemoCursor(source(identifier, key))
-                memos[(identifier, key)] = memo
-            return memo
+    def _context(
+        self, database: Instance, scans: Optional[ScanProvider]
+    ) -> ExecutionContext:
+        return ExecutionContext(database, scans if scans is not None else self._scans)
 
-        def source(identifier: int, key: Row) -> Iterator[Row]:
-            plan = plans[identifier]
-            if plan.probe_variables:
-                rows: Sequence[Row] = plan.relation.partition(
-                    plan.probe_variables
-                ).get(key)
-            else:
-                rows = plan.relation.rows
-            children = plan.children
-            instructions = plan.carry
-            seen: Set[Row] = set()
-            assembled: List[Row] = [()] * len(children)
-
-            def expand(row: Row, depth: int) -> Iterator[Row]:
-                if depth == len(children):
-                    out = tuple(
-                        row[position] if source_index < 0 else assembled[source_index][position]
-                        for source_index, position in instructions
-                    )
-                    if out not in seen:
-                        seen.add(out)
-                        yield out
-                    return
-                child_id, key_positions = children[depth]
-                child_key = tuple(row[p] for p in key_positions)
-                for child_row in cursor(child_id, child_key):
-                    assembled[depth] = child_row
-                    yield from expand(row, depth + 1)
-
-            for row in rows:
-                # Peek every child before combining: a dead child (possible
-                # only on unreduced relations) must not cost a scan of its
-                # siblings' cursors.
-                if all(
-                    cursor(child_id, tuple(row[p] for p in key_positions)).has_any()
-                    for child_id, key_positions in children
-                ):
-                    yield from expand(row, 0)
-
-        return iter(cursor(self.join_tree.root, ()))
-
+    # ------------------------------------------------------------------
+    # Evaluation entry points
+    # ------------------------------------------------------------------
     def iter_answers(
         self,
         database: Instance,
@@ -382,65 +225,55 @@ class YannakakisEvaluator:
     ) -> Iterator[Tuple[Term, ...]]:
         """Stream the distinct answer tuples of ``q(D)`` one at a time.
 
-        The generator runs phases 1–3 on the first ``next()`` call and then
-        enumerates phase 4 through nested memoised cursors — no intermediate
-        relation is ever materialised, so the first answer arrives after the
-        semi-join passes plus O(join-tree) bucket probes, and stopping early
-        (``limit``, or just abandoning the iterator) abandons the remaining
-        work.  The set of yielded tuples equals :meth:`evaluate` exactly,
-        with no tuple yielded twice.
+        The generator compiles and runs the streaming plan on the first
+        ``next()`` call: the semi-join reducers execute, then the cursor
+        tree enumerates — no intermediate relation is ever materialised, so
+        the first answer arrives after the semi-join passes plus
+        O(join-tree) bucket probes, and stopping early (``limit``, or just
+        abandoning the iterator) abandons the remaining work.  The set of
+        yielded tuples equals :meth:`evaluate` exactly, with no tuple
+        yielded twice.
 
         ``limit`` caps the number of answers (``None`` = all of them).
-        ``reduce=False`` skips the two semi-join passes: the cursors then
-        run directly on the phase-1 scans, which brings the very first
-        answer forward on satisfiable instances at the price of possible
+        ``reduce=False`` skips the semi-join reducers: the cursors then run
+        directly on the raw scans, which brings the very first answer
+        forward on satisfiable instances at the price of possible
         (memoised) dead ends during the rest of the enumeration — this is
         the mode :meth:`boolean` uses.
 
         Memory: the memoised cursors retain the distinct partial tuples
         enumerated so far, so a *complete* run holds at most what the
-        materialising phase 4 builds; a limited run holds proportionally
+        materialising assembly builds; a limited run holds proportionally
         less.
         """
         if limit is not None and limit <= 0:
             return
-        relations = (
-            self._reduce(database, scans=scans)
-            if reduce
-            else self._phase1(database, scans)
-        )
-        if relations is None:
-            return
+        plan = self.compile_stream_plan(reduce=reduce)
         root_carry = self._carry[self.join_tree.root]
         head_positions = tuple(root_carry.index(v) for v in self.query.head)
         produced = 0
-        for carry_row in self._stream(relations, self._carry):
+        for carry_row in plan.iter_rows(self._context(database, scans)):
             yield tuple(carry_row[p] for p in head_positions)
             produced += 1
             if limit is not None and produced >= limit:
                 return
 
-    # ------------------------------------------------------------------
     def boolean(
         self, database: Instance, *, scans: Optional[ScanProvider] = None
     ) -> bool:
         """Return ``True`` iff the (Boolean reading of the) query holds in ``database``.
 
         Routed through the first-answer short-circuit of the streaming
-        enumerator: the semi-join passes are skipped and the cursors run on
-        the raw phase-1 scans with the Boolean carry schemas (connecting
-        variables only), stopping at the first witness combination.  On
-        satisfiable instances this touches only the buckets along one
-        witness path (plus memoised dead ends); on unsatisfiable ones the
-        memoisation bounds the total work by one traversal per (node,
-        key) — the same order as a semi-join pass.
+        plan: the semi-join reducers are skipped and the cursors run on the
+        raw scans with the Boolean carry schemas (connecting variables
+        only), stopping at the first witness combination.  On satisfiable
+        instances this touches only the buckets along one witness path
+        (plus memoised dead ends); on unsatisfiable ones the memoisation
+        bounds the total work by one traversal per (node, key) — the same
+        order as a semi-join pass.
         """
-        relations = self._phase1(database, scans)
-        if relations is None:
-            return False
-        if self._boolean_carry is None:
-            self._boolean_carry = self._carry_schemas(set())
-        for _ in self._stream(relations, self._boolean_carry):
+        plan = self.compile_stream_plan(reduce=False, boolean=True)
+        for _ in plan.iter_rows(self._context(database, scans)):
             return True
         return False
 
@@ -453,31 +286,36 @@ class YannakakisEvaluator:
         it into the set-of-tuples interface (re-introducing any repeated head
         variables).
         """
-        head_schema: List[Variable] = []
-        for variable in self.query.head:
-            if variable not in head_schema:
-                head_schema.append(variable)
-
-        relations = self._reduce(database, scans=scans)
-        if relations is None:
-            return Relation.empty(head_schema)
-
-        # Phase 4: bottom-up projection joins.  After the semi-join passes
-        # every row of every node participates in at least one answer, so
-        # each hash join is linear in its input plus its output.
-        partial: Dict[int, Relation] = {}
-        for identifier in self._bottom_up:
-            relation = relations[identifier]
-            for child in self.join_tree.children(identifier):
-                relation = relation.join(partial[child])
-            partial[identifier] = relation.project(self._carry[identifier])
-        return partial[self.join_tree.root].project(head_schema)
+        plan = self.compile_answer_plan()
+        return plan.materialize(self._context(database, scans))
 
     def evaluate(
         self, database: Instance, *, scans: Optional[ScanProvider] = None
     ) -> Set[Tuple[Term, ...]]:
         """Return the full answer set ``q(D)``."""
         return self.answer_relation(database, scans=scans).answer_tuples(self.query.head)
+
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+        execute: bool = True,
+    ) -> str:
+        """Pretty-print the materialising plan with estimated vs. observed rows.
+
+        The plan is annotated with the statistics-calibrated
+        :class:`~repro.evaluation.operators.CostModel` and, unless
+        ``execute=False``, run against the database so every operator also
+        reports its observed cardinality.
+        """
+        plan = self.compile_answer_plan()
+        context = self._context(database, scans)
+        CostModel(Statistics(database, context.scans)).annotate(plan)
+        if execute:
+            plan.materialize(context)
+        return render_plan(plan)
 
 
 def evaluate_acyclic(

@@ -764,6 +764,70 @@ def yannakakis_scaling_workload(
     return query, database
 
 
+def plan_quality_workload(
+    size: int,
+    seed=0,
+    owners: Optional[int] = None,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """A (query, database) pair on which blind constant selectivities misplan.
+
+    Three relations over ``size`` entities:
+
+    * ``Status(x, s)`` — every entity, with only **two** distinct status
+      values (half the entities are ``'active'``);
+    * ``Owner(x, u)`` — ≈ ``1.25 · size`` facts over ``owners`` distinct
+      owners (default ``size // 8``), so anchoring at one owner keeps only
+      a handful of rows;
+    * ``Link(x, y)`` — ``2 · size`` random entity pairs.
+
+    The query anchors both constants::
+
+        q(x, y) :- Status(x, 'active'), Owner(x, 'u0'), Link(x, y)
+
+    The legacy 1/10-per-constraint heuristic scores ``Status(x,'active')``
+    (really: half the database) *below* ``Owner(x,'u0')`` (really: a few
+    rows) because ``Status`` has fewer facts, so the heuristic greedy plan
+    starts from the non-selective anchor and drags an O(size) intermediate
+    through the join.  The statistics-calibrated model reads the distinct
+    counts — 2 status values vs ``owners`` owner values — and starts from
+    the selective anchor instead; ``benchmarks/bench_plan_quality.py``
+    measures the gap, which grows linearly with ``size``.
+    """
+    if size < 8:
+        raise ValueError("the plan-quality workload needs at least 8 entities")
+    if owners is None:
+        owners = max(2, size // 8)
+    rng = _rng(seed)
+    status = Predicate("Status", 2)
+    owner = Predicate("Owner", 2)
+    link = Predicate("Link", 2)
+    entities = [Constant(f"e{i}") for i in range(size)]
+    database = Database()
+    for index, entity in enumerate(entities):
+        database.add(
+            Atom(status, (entity, Constant("active" if index % 2 == 0 else "inactive")))
+        )
+        database.add(Atom(owner, (entity, Constant(f"u{index % owners}"))))
+        # Every fourth entity has a second owner, so |Owner| > |Status| and
+        # the fact-count heuristic ranks the Owner anchor as the *more*
+        # expensive of the two.
+        if index % 4 == 0:
+            database.add(Atom(owner, (entity, Constant(f"u{rng.randrange(owners)}"))))
+    for _ in range(2 * size):
+        database.add(Atom(link, (rng.choice(entities), rng.choice(entities))))
+    x, y = Variable("x"), Variable("y")
+    query = ConjunctiveQuery(
+        (x, y),
+        [
+            Atom(status, (x, Constant("active"))),
+            Atom(owner, (x, Constant("u0"))),
+            Atom(link, (x, y)),
+        ],
+        name=f"plan_quality_{size}",
+    )
+    return query, database
+
+
 def grid_database(rows: int, columns: int, predicate: Optional[Predicate] = None) -> Database:
     """A ``rows × columns`` grid over one edge relation (both directions of adjacency)."""
     predicate = predicate or Predicate("E", 2)

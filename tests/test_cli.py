@@ -239,12 +239,212 @@ class TestRewriteApproximateEvaluate:
         assert "reformulated+yannakakis" in output
         assert "answers: 1" in output
 
-    def test_evaluate_cyclic_query_without_constraints_uses_generic(self, tmp_path):
+    def test_evaluate_cyclic_query_without_constraints_uses_plan(self, tmp_path):
         data = tmp_path / "facts.txt"
         data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
         code, output = run_cli(
             ["evaluate", "--query", "E(x, y), E(y, z), E(z, x)", "--data", str(data)]
         )
         assert code == 0
-        assert "evaluation: generic" in output
+        assert "evaluation: plan" in output
         assert "answers: 1" in output
+
+
+class TestEvaluateEngineAndLimit:
+    def write_path(self, tmp_path, n=5):
+        data = tmp_path / "facts.txt"
+        data.write_text("".join(f"E('n{i}', 'n{i + 1}').\n" for i in range(n)))
+        return data
+
+    def test_engine_generic_is_selectable(self, tmp_path):
+        data = self.write_path(tmp_path)
+        code, output = run_cli(
+            [
+                "evaluate",
+                "--query",
+                "q(x, z) :- E(x, y), E(y, z)",
+                "--data",
+                str(data),
+                "--engine",
+                "generic",
+            ]
+        )
+        assert code == 0
+        assert "evaluation: generic" in output
+        assert "answers: 4" in output
+
+    def test_engine_plan_forces_the_plan_route_on_acyclic_queries(self, tmp_path):
+        data = self.write_path(tmp_path)
+        code, output = run_cli(
+            [
+                "evaluate",
+                "--query",
+                "q(x, z) :- E(x, y), E(y, z)",
+                "--data",
+                str(data),
+                "--engine",
+                "plan",
+            ]
+        )
+        assert code == 0
+        assert "evaluation: plan" in output
+        assert "answers: 4" in output
+
+    def test_engine_yannakakis_refuses_cyclic_queries(self, tmp_path):
+        data = self.write_path(tmp_path)
+        with pytest.raises(SystemExit):
+            run_cli(
+                [
+                    "evaluate",
+                    "--query",
+                    "E(x, y), E(y, z), E(z, x)",
+                    "--data",
+                    str(data),
+                    "--engine",
+                    "yannakakis",
+                ]
+            )
+
+    def test_engine_reformulation_requires_a_reformulation(self, tmp_path):
+        data = self.write_path(tmp_path)
+        with pytest.raises(SystemExit):
+            run_cli(
+                [
+                    "evaluate",
+                    "--query",
+                    "E(x, y), E(y, z), E(z, x)",
+                    "--data",
+                    str(data),
+                    "--engine",
+                    "reformulation",
+                ]
+            )
+
+    def test_limit_streams_a_prefix_of_the_answers(self, tmp_path):
+        data = self.write_path(tmp_path, n=6)
+        code, output = run_cli(
+            [
+                "evaluate",
+                "--query",
+                "q(x, z) :- E(x, y), E(y, z)",
+                "--data",
+                str(data),
+                "--limit",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "limit: 2" in output
+        assert "answers: 2" in output
+
+    def test_limit_larger_than_output_yields_everything(self, tmp_path):
+        data = self.write_path(tmp_path)
+        code, output = run_cli(
+            [
+                "evaluate",
+                "--query",
+                "q(x, z) :- E(x, y), E(y, z)",
+                "--data",
+                str(data),
+                "--limit",
+                "99",
+            ]
+        )
+        assert code == 0
+        assert "answers: 4" in output
+
+
+class TestExplain:
+    def test_explain_acyclic_query_shows_estimates_and_observations(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\n")
+        code, output = run_cli(
+            ["explain", "--query", "q(x, z) :- E(x, y), E(y, z)", "--data", str(data)]
+        )
+        assert code == 0
+        assert "route: yannakakis" in output
+        assert "Scan[E(x, y)]" in output
+        assert "est=" in output and "obs=" in output
+
+    def test_explain_cyclic_query_uses_the_plan_route(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
+        code, output = run_cli(
+            ["explain", "--query", "E(x, y), E(y, z), E(z, x)", "--data", str(data)]
+        )
+        assert code == 0
+        assert "route: plan" in output
+        assert "HashJoin" in output
+
+    def test_explain_reformulated_query_names_the_reformulation(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text(
+            "Interest('c1', 's1').\nClass('r1', 's1').\nOwns('c1', 'r1').\n"
+        )
+        code, output = run_cli(
+            [
+                "explain",
+                "--query",
+                EXAMPLE1_QUERY,
+                "--data",
+                str(data),
+                "--dependency",
+                EXAMPLE1_TGD,
+            ]
+        )
+        assert code == 0
+        assert "route: reformulated" in output
+        assert "reformulation:" in output
+
+    def test_explain_no_execute_skips_observed_cardinalities(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\n")
+        code, output = run_cli(
+            [
+                "explain",
+                "--query",
+                "q(x, y) :- E(x, y)",
+                "--data",
+                str(data),
+                "--no-execute",
+            ]
+        )
+        assert code == 0
+        assert "obs=?" in output
+
+    def test_explain_matches_evaluate_on_egd_only_constraints(self, tmp_path):
+        """Egd-only sets go through the decision procedure: explain must
+        report the same reformulated route that evaluate executes."""
+        data = tmp_path / "facts.txt"
+        data.write_text("A('x1', 'y1').\nB('y1', 'y1').\n")
+        arguments = [
+            "--query",
+            "q() :- A(x, y), A(x, z), B(y, z)",
+            "--data",
+            str(data),
+            "--dependency",
+            "A(x, y), A(x, z) -> y = z",
+        ]
+        code, evaluated = run_cli(["evaluate", *arguments])
+        assert code == 0
+        assert "evaluation: reformulated+yannakakis" in evaluated
+        code, explained = run_cli(["explain", *arguments])
+        assert code == 0
+        assert "route: reformulated" in explained
+        assert "reformulation:" in explained
+
+    def test_explain_forced_impossible_route_fails_cleanly(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\n")
+        with pytest.raises(SystemExit):
+            run_cli(
+                [
+                    "explain",
+                    "--query",
+                    "E(x, y), E(y, z), E(z, x)",
+                    "--data",
+                    str(data),
+                    "--engine",
+                    "yannakakis",
+                ]
+            )

@@ -1,0 +1,402 @@
+"""The physical-operator IR: both execution faces, cost model, EXPLAIN.
+
+Three layers of guarantees:
+
+1. **Operator semantics** — every operator's ``materialize()`` and
+   ``iter_rows()`` faces agree with the reference ``Relation`` algebra and
+   with each other, and record their observed cardinalities.
+
+2. **Engine ↔ IR differentials** — the plans the engines compile
+   (Yannakakis' reducer + cursor/hash-join plans, the greedy left-deep
+   chains) produce exactly the ground-truth answer sets of
+   ``evaluate``/``evaluate_iter`` across all three routes, under hypothesis
+   randomization including constants, repeated head variables and
+   ``limit=`` semantics.
+
+3. **Bounded work** — the streaming face of the plan route pipelines its
+   whole chain: ``iter_with_plan`` with a small ``limit`` must cost bucket
+   probes proportional to the answers pulled, not to the join prefix the
+   pre-IR implementation used to materialise.  Asserted with the
+   deterministic :class:`repro.evaluation.relation.Partition` probe
+   counters, not wall clocks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers.workloads import randomized_acyclic_workload, randomized_cyclic_workload
+from repro.datamodel import Atom, Constant, Database, Predicate, Variable
+from repro.evaluation import (
+    AcyclicityRequired,
+    CostModel,
+    Distinct,
+    ExecutionContext,
+    HashJoin,
+    Project,
+    Scan,
+    ScanCache,
+    Select,
+    SemiJoin,
+    Statistics,
+    YannakakisEvaluator,
+    compile_plan,
+    evaluate_generic,
+    evaluate_iter,
+    evaluate_with_plan,
+    explain,
+    iter_with_plan,
+    plan_greedy,
+    render_plan,
+)
+from repro.evaluation.relation import Partition, Relation
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.generators import yannakakis_scaling_workload
+
+
+E = Predicate("E", 2)
+F = Predicate("F", 2)
+a, b, c, d = (Constant(name) for name in "abcd")
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def small_database():
+    return Database(
+        [
+            Atom(E, (a, b)),
+            Atom(E, (b, c)),
+            Atom(E, (b, b)),
+            Atom(F, (b, d)),
+            Atom(F, (c, d)),
+        ]
+    )
+
+
+def ctx(database=None):
+    return ExecutionContext(database if database is not None else small_database())
+
+
+def rows_of(op, context):
+    return list(op.iter_rows(context))
+
+
+# ----------------------------------------------------------------------
+# Operator semantics: materialize() and iter_rows() agree
+# ----------------------------------------------------------------------
+class TestOperatorFaces:
+    def test_scan_materializes_the_atom_relation(self):
+        op = Scan(Atom(E, (x, y)))
+        relation = op.materialize(ctx())
+        assert set(relation.rows) == {(a, b), (b, c), (b, b)}
+        assert op.observed_rows == 3
+        assert op.schema == (x, y)
+
+    def test_scan_applies_constants_and_repeats(self):
+        constant_scan = Scan(Atom(E, (x, c)))
+        assert set(constant_scan.materialize(ctx()).rows) == {(b,)}
+        repeat_scan = Scan(Atom(E, (x, x)))
+        assert set(repeat_scan.materialize(ctx()).rows) == {(b,)}
+        assert repeat_scan.schema == (x,)
+
+    def test_select_filters_both_faces(self):
+        context = ctx()
+        op = Select(Scan(Atom(E, (x, y))), {x: b})
+        assert set(op.materialize(context).rows) == {(b, c), (b, b)}
+        streamed = rows_of(Select(Scan(Atom(E, (x, y))), {x: b}), ctx())
+        assert set(streamed) == {(b, c), (b, b)}
+
+    def test_project_deduplicates_both_faces(self):
+        context = ctx()
+        op = Project(Scan(Atom(E, (x, y))), (x,))
+        assert set(op.materialize(context).rows) == {(a,), (b,)}
+        streamed = rows_of(Project(Scan(Atom(E, (x, y))), (x,)), ctx())
+        assert sorted(streamed, key=str) == [(a,), (b,)]
+        assert len(streamed) == len(set(streamed))
+
+    def test_distinct_removes_duplicate_rows(self):
+        context = ctx()
+        # A projection done twice creates no duplicates, so feed Distinct
+        # from a join that genuinely multiplies rows.
+        join = HashJoin(Scan(Atom(E, (x, y))), Scan(Atom(F, (y, z))))
+        projected = Project(join, (z,))
+        assert set(Distinct(projected).materialize(context).rows) == {(d,)}
+        streamed = rows_of(Distinct(Project(HashJoin(Scan(Atom(E, (x, y))), Scan(Atom(F, (y, z)))), (z,))), ctx())
+        assert streamed == [(d,)]
+
+    def test_semijoin_keeps_matching_left_rows(self):
+        context = ctx()
+        op = SemiJoin(Scan(Atom(E, (x, y))), Scan(Atom(F, (y, z))))
+        assert set(op.materialize(context).rows) == {(a, b), (b, c), (b, b)}
+        narrowed = SemiJoin(Scan(Atom(F, (y, z))), Scan(Atom(E, (x, y))))
+        assert set(narrowed.materialize(ctx()).rows) == {(b, d), (c, d)}
+        assert set(rows_of(SemiJoin(Scan(Atom(F, (y, z))), Scan(Atom(E, (x, y)))), ctx())) == {
+            (b, d),
+            (c, d),
+        }
+
+    def test_hashjoin_matches_relation_join(self):
+        context = ctx()
+        op = HashJoin(Scan(Atom(E, (x, y))), Scan(Atom(F, (y, z))))
+        expected = Relation.from_atom(Atom(E, (x, y)), context.database).join(
+            Relation.from_atom(Atom(F, (y, z)), context.database)
+        )
+        assert op.materialize(context) == expected
+        assert set(rows_of(HashJoin(Scan(Atom(E, (x, y))), Scan(Atom(F, (y, z)))), ctx())) == set(
+            expected.rows
+        )
+
+    def test_hashjoin_cross_product_when_no_shared_variables(self):
+        context = ctx()
+        op = HashJoin(Scan(Atom(E, (x, y))), Scan(Atom(F, (Variable("u"), Variable("v")))))
+        assert op.observed_rows is None
+        assert len(op.materialize(context)) == 3 * 2
+        assert op.observed_rows == 6
+
+    def test_streaming_counts_rows_and_probes(self):
+        op = HashJoin(Scan(Atom(E, (x, y))), Scan(Atom(F, (y, z))))
+        streamed = rows_of(op, ctx())
+        assert op.observed_rows == len(streamed) == 3
+        assert op.observed_probes == 3  # one probe per left row
+
+    def test_materialized_results_are_cached_per_node(self):
+        context = ctx()
+        op = Scan(Atom(E, (x, y)))
+        assert op.materialize(context) is op.materialize(context)
+
+    def test_empty_left_input_short_circuits_binary_operators(self):
+        context = ctx()
+        empty = Scan(Atom(Predicate("Missing", 1), (x,)))
+        join = HashJoin(empty, Scan(Atom(E, (x, y))))
+        assert join.materialize(context).is_empty()
+        assert join.schema == (x, y)
+        semi = SemiJoin(Scan(Atom(Predicate("Missing", 1), (x,))), Scan(Atom(E, (x, y))))
+        assert semi.materialize(ctx()).is_empty()
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_scan_estimate_is_the_relation_size(self):
+        model = CostModel(Statistics(small_database()))
+        assert model.scan_estimate(Atom(E, (x, y))).rows == 3
+
+    def test_constant_selectivity_uses_the_bucket_histogram(self):
+        # Column 1 of E partitions into buckets a→1, b→2; the
+        # probe-weighted expected bucket size is Σ size²/rows = (1+4)/3 —
+        # read from the real value distribution, not the blind 1/10 of the
+        # legacy heuristic.
+        model = CostModel(Statistics(small_database()))
+        estimate = model.scan_estimate(Atom(E, (a, y)))
+        assert estimate.rows == pytest.approx(5 / 3)
+
+    def test_join_estimate_divides_by_the_larger_distinct_count(self):
+        model = CostModel(Statistics(small_database()))
+        left = model.scan_estimate(Atom(E, (x, y)))
+        right = model.scan_estimate(Atom(F, (y, z)))
+        # d_E(y) = |{b, c, b}| = 2, d_F(y) = 2 → 3·2/2 = 3.
+        assert model.join_estimate(left, right).rows == pytest.approx(3.0)
+
+    def test_annotate_fills_every_node_of_a_dag(self):
+        scan = Scan(Atom(E, (x, y)))
+        plan = HashJoin(SemiJoin(scan, Scan(Atom(F, (y, z)))), scan)
+        CostModel(Statistics(small_database())).annotate(plan)
+        seen = set()
+
+        def walk(op):
+            if id(op) in seen:
+                return
+            seen.add(id(op))
+            assert op.estimated_rows is not None
+            for child in op.children:
+                walk(child)
+
+        walk(plan)
+
+    def test_repeated_variable_atom_over_an_empty_predicate(self):
+        # Regression: scan_estimate used to skip computing the column
+        # statistics of empty base relations but still index them for the
+        # repeated-variable selectivity — an IndexError reachable from
+        # every planner entry point.
+        database = small_database()
+        missing = Atom(Predicate("Nowhere", 2), (x, x))
+        model = CostModel(Statistics(database))
+        assert model.scan_estimate(missing).rows == 0
+        query = ConjunctiveQuery((x,), [missing, Atom(E, (x, y))])
+        assert list(evaluate_iter(query, database, engine="plan")) == []
+
+    def test_scan_estimates_are_memoised_per_atom(self):
+        model = CostModel(Statistics(small_database()))
+        atom = Atom(E, (a, y))
+        assert model.scan_estimate(atom) is model.scan_estimate(atom)
+
+    def test_statistics_reuse_an_injected_scan_cache(self):
+        database = small_database()
+        cache = ScanCache(database)
+        statistics = Statistics(database, cache)
+        statistics.base_relation(E)
+        statistics.base_relation(E)
+        assert cache.base_scans == 1
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN rendering
+# ----------------------------------------------------------------------
+class TestExplain:
+    def test_render_marks_estimates_observations_and_sharing(self):
+        context = ctx()
+        scan = Scan(Atom(E, (x, y)))
+        plan = HashJoin(SemiJoin(scan, Scan(Atom(F, (y, z)))), scan)
+        CostModel(Statistics(context.database)).annotate(plan)
+        plan.materialize(context)
+        rendered = render_plan(plan)
+        assert "est=" in rendered and "obs=" in rendered
+        assert "(shared, shown above)" in rendered  # the scan appears twice
+
+    def test_explain_reports_every_route(self):
+        database = small_database()
+        acyclic = ConjunctiveQuery((x, z), [Atom(E, (x, y)), Atom(F, (y, z))])
+        report = explain(acyclic, database)
+        assert "route: yannakakis" in report
+        assert "Scan[E(x, y)]" in report
+
+        triangle = ConjunctiveQuery(
+            (x,), [Atom(E, (x, y)), Atom(E, (y, z)), Atom(E, (z, x))]
+        )
+        report = explain(triangle, database)
+        assert "route: plan" in report
+        assert "HashJoin" in report
+
+    def test_explain_observed_matches_true_answer_count(self):
+        query, database = yannakakis_scaling_workload(150, seed=1)
+        report = explain(query, database)
+        answers = len(evaluate_generic(query, database))
+        assert f"obs={answers})" in report.splitlines()[2]  # the plan root
+
+    def test_explain_estimates_only_without_execution(self):
+        query, database = yannakakis_scaling_workload(150, seed=1)
+        report = explain(query, database, execute=False)
+        assert "obs=?" in report
+
+
+# ----------------------------------------------------------------------
+# Engine ↔ IR differentials (all three routes)
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_yannakakis_plans_agree_with_ground_truth(seed):
+    query, database = randomized_acyclic_workload(seed)
+    try:
+        evaluator = YannakakisEvaluator(query)
+    except AcyclicityRequired:
+        return  # constant injection made the variable hypergraph cyclic
+    expected = evaluate_generic(query, database)
+    # Materialising face: reducers + hash joins + projections.
+    answer_plan = evaluator.compile_answer_plan()
+    relation = answer_plan.materialize(ExecutionContext(database))
+    assert relation.answer_tuples(query.head) == expected
+    # Streaming face: reducers + cursor enumeration, via the public API.
+    streamed = list(evaluator.iter_answers(database))
+    assert len(streamed) == len(set(streamed))
+    assert set(streamed) == expected
+    # limit= yields exactly min(k, |answers|) distinct answers.
+    k = seed % 4
+    limited = list(evaluate_iter(query, database, limit=k))
+    assert len(limited) == min(k, len(expected))
+    assert set(limited) <= expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_compiled_plan_chains_agree_with_ground_truth(seed):
+    query, database = randomized_cyclic_workload(seed)
+    expected = evaluate_generic(query, database)
+    plan = plan_greedy(query, database)
+    ops = compile_plan(plan)
+    assert len(ops) == len(plan)
+    # Materialising face.
+    assert evaluate_with_plan(query, database) == expected
+    # Streaming face (pipelined chain), with limit semantics.
+    streamed = list(iter_with_plan(query, database))
+    assert len(streamed) == len(set(streamed))
+    assert set(streamed) == expected
+    k = seed % 4
+    limited = list(iter_with_plan(query, database, limit=k))
+    assert len(limited) == min(k, len(expected))
+    assert set(limited) <= expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_explain_execution_agrees_with_evaluate_iter(seed):
+    """explain() runs the same plans the engines run: its root observation
+    equals the streamed answer count, on whichever route auto picks."""
+    query, database = randomized_acyclic_workload(seed)
+    streamed = set(evaluate_iter(query, database))
+    report = explain(query, database)
+    root_line = report.splitlines()[2]
+    distinct_root = len(
+        {tuple(answer[i] for i in _first_occurrence_positions(query)) for answer in streamed}
+    )
+    assert f"obs={distinct_root})" in root_line
+
+
+def _first_occurrence_positions(query):
+    seen = []
+    for variable in query.head:
+        if variable not in seen:
+            seen.append(variable)
+    return [query.head.index(v) for v in seen]
+
+
+def test_reformulation_route_explains_and_streams_identically():
+    from repro.workloads.paper_examples import example1_query, example1_tgd
+    from repro.workloads import music_store_database
+
+    query, tgd = example1_query(), example1_tgd()
+    database = music_store_database(seed=11, customers=10, records=12, styles=4)
+    expected = set(evaluate_iter(query, database, tgds=[tgd], engine="reformulation"))
+    assert expected == evaluate_generic(query, database)
+    report = explain(query, database, tgds=[tgd], engine="reformulation")
+    assert "route: reformulated" in report
+    assert "reformulation:" in report
+    assert f"obs={len(expected)})" in report.splitlines()[3]  # root, after header
+
+
+# ----------------------------------------------------------------------
+# Bounded work: the plan route's streaming face pipelines its prefix
+# ----------------------------------------------------------------------
+def _probes(run):
+    before = Partition.total_probes
+    result = run()
+    return result, Partition.total_probes - before
+
+
+def test_iter_with_plan_no_longer_materialises_its_join_prefix():
+    """Pre-IR, ``iter_with_plan`` executed every prefix step as a
+    materialised hash join — the probes before the first answer grew with
+    the prefix's intermediate sizes.  The pipelined chain must reach the
+    first answers after O(chain · limit) bucket probes instead."""
+    query, database = yannakakis_scaling_workload(600, seed=2)
+    plan = plan_greedy(query, database)
+    _, probes_limited = _probes(
+        lambda: list(iter_with_plan(query, database, limit=3))
+    )
+    _, probes_full = _probes(lambda: list(iter_with_plan(query, database)))
+    # The limited run touches a handful of buckets (≈ limit · chain depth),
+    # nowhere near the full pipeline, and far below the prefix sizes the
+    # old implementation had to pay before the first answer.
+    assert probes_limited <= 4 * len(plan)
+    assert probes_limited * 10 <= probes_full
+
+
+def test_iter_with_plan_first_answer_is_cheap_across_sizes():
+    """Probes before the first answer stay flat as |D| doubles (the old
+    prefix materialisation grew linearly)."""
+    first_probes = []
+    for size in (300, 1200):
+        query, database = yannakakis_scaling_workload(size, seed=1)
+        stream = iter_with_plan(query, database)
+        _, probes = _probes(lambda: next(stream))
+        first_probes.append(probes)
+    assert first_probes[0] == first_probes[1]
