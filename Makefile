@@ -3,11 +3,21 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test docs-check bench bench-smoke bench-enum bench-plans
+.PHONY: test typecheck lint docs-check bench bench-smoke bench-enum bench-plans
 
 ## Tier-1 verify: the command every PR must keep green.
+## REPRO_VERIFY=1 statically re-checks every plan the engines emit.
 test:
-	$(PYTEST) -x -q
+	REPRO_VERIFY=1 $(PYTEST) -x -q
+
+## Static types: strict on datamodel/ and hypergraph/, permissive elsewhere.
+## Skips gracefully (exit 0 with a notice) where mypy is not installed.
+typecheck:
+	python scripts/run_typecheck.py
+
+## Repository conventions: operator faces, mutable defaults, BENCH_SMOKE.
+lint:
+	python scripts/lint_conventions.py
 
 ## Execute the fenced python blocks of README.md (docs can't rot).
 docs-check:

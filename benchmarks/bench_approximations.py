@@ -17,7 +17,7 @@ from repro.datamodel import Atom, Constant, Database, Predicate
 from repro.evaluation import evaluate_acyclic, evaluate_generic
 from repro.parser import parse_query, parse_tgd
 from repro.workloads.paper_examples import example1_query, example1_tgd
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 E = Predicate("E", 2)
@@ -63,7 +63,7 @@ def test_approximation_of_the_triangle_under_symmetry(benchmark):
         assert approximation.is_acyclic()
 
 
-@pytest.mark.parametrize("nodes", [30, 90])
+@pytest.mark.parametrize("nodes", scaled_sizes([30, 90], [12]))
 def test_approximate_evaluation_is_sound_and_fast(benchmark, nodes):
     triangle = parse_query("E(a, b), E(b, c), E(c, a)")
     symmetry = parse_tgd("E(x, y) -> E(y, x)")

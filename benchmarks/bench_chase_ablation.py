@@ -26,10 +26,10 @@ from repro.chase import (
 )
 from repro.parser import parse_tgd
 from repro.workloads.generators import path_database, random_full_tgds, random_schema
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
-@pytest.mark.parametrize("edges", [20, 60, 120])
+@pytest.mark.parametrize("edges", scaled_sizes([20, 60, 120], [20]))
 def test_restricted_vs_oblivious(benchmark, edges):
     database = path_database(edges)
     tgds = [
@@ -53,7 +53,7 @@ def test_restricted_vs_oblivious(benchmark, edges):
     assert comparison.oblivious_size >= comparison.restricted_size
 
 
-@pytest.mark.parametrize("steps", [200, 800, 3200])
+@pytest.mark.parametrize("steps", scaled_sizes([200, 800, 3200], [200]))
 def test_chain_chase_cost_scales_linearly(benchmark, steps):
     # A single diverging tgd chased for a growing number of steps: with the
     # semi-naive trigger enumeration the cost per step stays roughly flat.
@@ -77,7 +77,7 @@ def test_chain_chase_cost_scales_linearly(benchmark, steps):
     assert len(result.instance) == steps + 1
 
 
-@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("seed", scaled_sizes([1, 2, 3], [1]))
 def test_certified_budgets_are_sufficient(benchmark, seed):
     schema = random_schema(seed=seed, predicate_count=3, max_arity=2)
     tgds = random_full_tgds(seed=seed, schema=schema, count=4)

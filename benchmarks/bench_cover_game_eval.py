@@ -18,7 +18,7 @@ from repro.evaluation import (
     membership_via_cover_game_guarded,
 )
 from repro.workloads.paper_examples import guarded_triangle_example
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 E = Predicate("E", 2)
@@ -40,7 +40,7 @@ def _closed_database(nodes: int, with_triangle: bool) -> Database:
     return result
 
 
-@pytest.mark.parametrize("nodes", [10, 40, 120])
+@pytest.mark.parametrize("nodes", scaled_sizes([10, 40, 120], [10, 40]))
 @pytest.mark.parametrize("method", ["cover-game", "chase+cover-game", "baseline"])
 def test_cover_game_membership(benchmark, nodes, method):
     query, tgds = guarded_triangle_example()

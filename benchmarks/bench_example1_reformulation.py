@@ -21,7 +21,7 @@ from repro.workloads.paper_examples import (
     example1_query,
     example1_tgd,
 )
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 def test_example1_reformulation_decision(benchmark):
@@ -45,7 +45,7 @@ def test_example1_reformulation_decision(benchmark):
     assert not unconstrained.semantically_acyclic
 
 
-@pytest.mark.parametrize("customers", [20, 60, 120])
+@pytest.mark.parametrize("customers", scaled_sizes([20, 60, 120], [20]))
 def test_example1_reformulated_evaluation(benchmark, customers):
     query = example1_query()
     tgds = [example1_tgd()]

@@ -13,10 +13,10 @@ from repro.chase import chase_query, tgd_chase_preserves_acyclicity
 from repro.dependencies import classify, DependencyClass
 from repro.queries import gaifman_graph_of_instance, max_clique_lower_bound, treewidth_upper_bound
 from repro.workloads.paper_examples import example2_query, example2_tgd
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
-@pytest.mark.parametrize("n", [3, 5, 8])
+@pytest.mark.parametrize("n", scaled_sizes([3, 5, 8], [3]))
 def test_example2_chase_builds_a_clique(benchmark, n):
     query = example2_query(n)
     tgd = example2_tgd()

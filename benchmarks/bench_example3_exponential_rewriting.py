@@ -13,10 +13,10 @@ from repro.datamodel import Predicate
 from repro.dependencies import is_sticky_set
 from repro.rewriting import RewritingConfig, rewrite, ucq_rewritable_height_bound
 from repro.workloads.paper_examples import example3_query, example3_tgds
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
-@pytest.mark.parametrize("n", [1, 2, 3])
+@pytest.mark.parametrize("n", scaled_sizes([1, 2, 3], [1, 2]))
 def test_example3_rewriting_size(benchmark, n):
     query = example3_query(n)
     tgds = example3_tgds(n)

@@ -11,7 +11,7 @@ import pytest
 from repro.dependencies import compute_marking, is_sticky_set
 from repro.workloads import random_guarded_tgds, random_schema
 from repro.workloads.paper_examples import figure1_non_sticky_set, figure1_sticky_set
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 def test_figure1_marking(benchmark):
@@ -38,7 +38,7 @@ def test_figure1_marking(benchmark):
     assert is_sticky_set(sticky_set) and not is_sticky_set(non_sticky_set)
 
 
-@pytest.mark.parametrize("rule_count", [5, 20, 50])
+@pytest.mark.parametrize("rule_count", scaled_sizes([5, 20, 50], [5]))
 def test_marking_scales_with_rule_count(benchmark, rule_count):
     schema = random_schema(seed=rule_count, predicate_count=6, max_arity=3)
     tgds = random_guarded_tgds(seed=rule_count, schema=schema, count=rule_count)

@@ -16,10 +16,10 @@ from repro.core import decide_semantic_acyclicity_tgds
 from repro.evaluation import SemAcEvaluation, evaluate_generic
 from repro.workloads import music_store_database
 from repro.workloads.paper_examples import example1_query, example1_tgd
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
-SIZES = [20, 60, 180]
+SIZES = scaled_sizes([20, 60, 180], [20])
 
 
 @pytest.mark.parametrize("customers", SIZES)

@@ -27,10 +27,10 @@ from repro.evaluation import (
 )
 from repro.workloads.generators import music_store_database
 from repro.workloads.paper_examples import example1_query, example1_tgd
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
-SIZES = [20, 60, 120]
+SIZES = scaled_sizes([20, 60, 120], [20])
 
 
 @pytest.mark.parametrize("customers", SIZES)

@@ -11,7 +11,7 @@ import pytest
 from repro.containment import equivalent_under_egds
 from repro.core import SemAcConfig, decide_semantic_acyclicity_egds
 from repro.parser import parse_egd, parse_query
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 KEY = parse_egd("A(x, y), A(x, z) -> y = z")
@@ -28,7 +28,7 @@ def _collapsing_query(n: int):
     return parse_query(", ".join(atoms), name=f"collapse_{n}")
 
 
-@pytest.mark.parametrize("n", [3, 4, 5])
+@pytest.mark.parametrize("n", scaled_sizes([3, 4, 5], [3]))
 def test_semac_k2_positive_family(benchmark, n):
     query = _collapsing_query(n)
     decision = benchmark(lambda: decide_semantic_acyclicity_egds(query, [KEY]))

@@ -22,7 +22,7 @@ from repro.workloads.paper_examples import (
     example5_keys,
     example5_ring_query,
 )
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 def test_example4_exact(benchmark):
@@ -39,7 +39,7 @@ def test_example4_exact(benchmark):
     assert report.query_acyclic and not report.chase_acyclic
 
 
-@pytest.mark.parametrize("n", [4, 8, 16])
+@pytest.mark.parametrize("n", scaled_sizes([4, 8, 16], [4]))
 def test_example4_scaled_cycle_length(benchmark, n):
     query = example4_scaled_query(n)
     result, _ = benchmark(lambda: egd_chase_query(query, [example4_key()]))
@@ -55,7 +55,7 @@ def test_example4_scaled_cycle_length(benchmark, n):
     assert query.is_acyclic() and not acyclic
 
 
-@pytest.mark.parametrize("n", [3, 6, 10])
+@pytest.mark.parametrize("n", scaled_sizes([3, 6, 10], [3]))
 def test_example5_ring_treewidth(benchmark, n):
     query = example5_ring_query(n)
     result, _ = benchmark(lambda: egd_chase_query(query, example5_keys()))
@@ -76,7 +76,7 @@ def test_example5_ring_treewidth(benchmark, n):
     assert not is_acyclic_instance(result.instance)
 
 
-@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("seed", scaled_sizes([0, 1, 2, 3], [0]))
 def test_k2_keys_preserve_acyclicity(benchmark, seed):
     # Proposition 22: keys over unary/binary predicates have acyclicity-preserving chase.
     schema = random_schema(seed=seed, predicate_count=3, max_arity=2)

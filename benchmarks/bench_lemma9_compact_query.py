@@ -14,10 +14,10 @@ from repro.hypergraph import compact_acyclic_query, is_acyclic_instance
 from repro.queries import contained_in
 from repro.workloads import random_acyclic_query, random_schema
 from repro.workloads.generators import path_query
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
-@pytest.mark.parametrize("instance_atoms", [10, 40, 160])
+@pytest.mark.parametrize("instance_atoms", scaled_sizes([10, 40, 160], [10]))
 def test_compact_query_size_is_independent_of_instance_size(benchmark, instance_atoms):
     # The query asks for a 3-edge path; the instance is a long frozen path.
     query = path_query(3)
@@ -41,7 +41,7 @@ def test_compact_query_size_is_independent_of_instance_size(benchmark, instance_
     assert contained_in(compact, query)
 
 
-@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("seed", scaled_sizes([1, 2, 3, 4, 5], [1, 2]))
 def test_compact_query_on_random_acyclic_instances(benchmark, seed):
     schema = random_schema(seed=seed, predicate_count=3, max_arity=3)
     query = random_acyclic_query(seed=seed, schema=schema, atom_count=4)

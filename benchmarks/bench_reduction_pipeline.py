@@ -20,7 +20,7 @@ from repro.containment import ContainmentOutcome
 from repro.core import decide_containment_via_semac, direct_containment, reduce_containment_to_semac
 from repro.dependencies import is_non_recursive_set
 from repro.parser import parse_query, parse_tgd
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 CASES = {
@@ -48,7 +48,7 @@ CASES = {
 }
 
 
-@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("name", scaled_sizes(sorted(CASES), sorted(CASES)[:1]))
 def test_containment_via_semac_agrees_with_direct(benchmark, name):
     left, right, tgds, expected = CASES[name]
 

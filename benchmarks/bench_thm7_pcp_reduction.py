@@ -12,7 +12,7 @@ import pytest
 
 from repro.containment import ContainmentConfig, ContainmentOutcome, equivalent_under_tgds
 from repro.core import PCPInstance, pcp_query, pcp_tgds, solution_path_query, word_path_query
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 SOLVABLE = PCPInstance(("a", "ab"), ("aa", "b"))          # solution: 0, 1 → "aab"
@@ -42,7 +42,7 @@ def test_pcp_positive_direction(benchmark):
     assert outcome is ContainmentOutcome.TRUE
 
 
-@pytest.mark.parametrize("max_word_length", [3])
+@pytest.mark.parametrize("max_word_length", scaled_sizes([3], [2]))
 def test_pcp_negative_direction(benchmark, max_word_length):
     query = pcp_query()
     tgds = pcp_tgds(UNSOLVABLE)

@@ -28,10 +28,10 @@ from repro.workloads.paper_examples import (
     example4_key,
     example4_scaled_query,
 )
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
-@pytest.mark.parametrize("n", [3, 5, 7])
+@pytest.mark.parametrize("n", scaled_sizes([3, 5, 7], [3]))
 def test_example2_width_explosion(benchmark, n):
     query = example2_query(n)
     result, _ = chase_query(query, [example2_tgd()])
@@ -52,7 +52,7 @@ def test_example2_width_explosion(benchmark, n):
     assert width >= max(2, n // 2)
 
 
-@pytest.mark.parametrize("n", [3, 5, 8])
+@pytest.mark.parametrize("n", scaled_sizes([3, 5, 8], [3]))
 def test_example4_width_growth(benchmark, n):
     query = example4_scaled_query(n)
     chased, _ = egd_chase_query(query, [example4_key()], on_failure="return")
@@ -73,7 +73,7 @@ def test_example4_width_growth(benchmark, n):
     assert width >= query_treewidth(query.body)
 
 
-@pytest.mark.parametrize("n", [4, 6, 8])
+@pytest.mark.parametrize("n", scaled_sizes([4, 6, 8], [4]))
 def test_exact_vs_heuristic_treewidth(benchmark, n):
     # Ablation: exact branch-and-bound versus the two elimination heuristics
     # on the chased Example 2 clique (where the exact value is n - 1).

@@ -12,7 +12,7 @@ from repro.core import decide_ucq_semantic_acyclicity
 from repro.parser import parse_query, parse_tgd
 from repro.queries import UnionOfConjunctiveQueries
 from repro.workloads.paper_examples import example1_tgd
-from conftest import print_series
+from conftest import print_series, scaled_sizes
 
 
 def test_ucq_semac_with_redundancy_and_witnesses(benchmark):
@@ -54,7 +54,7 @@ def test_ucq_semac_negative(benchmark):
     assert not decision.semantically_acyclic
 
 
-@pytest.mark.parametrize("disjuncts", [2, 4, 8])
+@pytest.mark.parametrize("disjuncts", scaled_sizes([2, 4, 8], [2]))
 def test_ucq_semac_scaling_in_disjunct_count(benchmark, disjuncts):
     tgds = [example1_tgd()]
     base = parse_query("Interest(x, z), Class(y, z), Owns(x, y)")

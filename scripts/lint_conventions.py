@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Repository-convention lint — rules a generic linter cannot know.
+
+Three rules, each encoding a convention the codebase actually relies on:
+
+1. **Operator faces** — every concrete operator node in
+   ``src/repro/evaluation/operators.py`` implements both execution faces
+   (``_materialize``/``materialize`` and ``iter_rows``) and ``label()``,
+   so plans can always be materialised, streamed and rendered.
+2. **No mutable default arguments** anywhere under ``src/`` — a default
+   ``[]``/``{}``/``set()`` is shared across calls; the engines pass
+   relations and bindings through deep call chains where that aliasing is
+   a silent correctness bug.
+3. **Benchmarks honour BENCH_SMOKE** — every ``benchmarks/bench_*.py``
+   must consult the smoke-mode machinery (``scaled_sizes``/``smoke_mode``
+   or the raw ``BENCH_SMOKE`` variable) so `make bench-smoke` and CI can
+   run the whole suite in seconds.
+
+Exit 0 when clean, 1 with one line per violation otherwise (run via
+``make lint``).
+"""
+
+import ast
+import pathlib
+import sys
+from typing import List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OPERATORS_FILE = REPO_ROOT / "src" / "repro" / "evaluation" / "operators.py"
+SOURCE_ROOT = REPO_ROOT / "src"
+BENCH_ROOT = REPO_ROOT / "benchmarks"
+
+MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def relative(path: pathlib.Path) -> str:
+    return str(path.relative_to(REPO_ROOT))
+
+
+# ----------------------------------------------------------------------
+# Rule 1: operator nodes implement both faces
+# ----------------------------------------------------------------------
+def check_operator_faces() -> List[str]:
+    violations: List[str] = []
+    tree = ast.parse(OPERATORS_FILE.read_text(encoding="utf-8"))
+    class_methods = {
+        node.name: {
+            item.name for item in node.body if isinstance(item, ast.FunctionDef)
+        }
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+    # The streaming face of nodes that do not pipeline resolves through the
+    # base default (materialise-and-iterate); if that default ever goes
+    # away, every non-overriding node below becomes a violation.
+    base_has_stream_default = "iter_rows" in class_methods.get("Operator", set())
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {base.id for base in node.bases if isinstance(base, ast.Name)}
+        if "Operator" not in bases:
+            continue
+        methods = class_methods[node.name]
+        if not methods & {"_materialize", "materialize"}:
+            violations.append(
+                f"{relative(OPERATORS_FILE)}:{node.lineno}: operator "
+                f"{node.name} has no materialising face "
+                "(_materialize or materialize)"
+            )
+        if "iter_rows" not in methods and not base_has_stream_default:
+            violations.append(
+                f"{relative(OPERATORS_FILE)}:{node.lineno}: operator "
+                f"{node.name} has no streaming face (iter_rows)"
+            )
+        if "label" not in methods:
+            violations.append(
+                f"{relative(OPERATORS_FILE)}:{node.lineno}: operator "
+                f"{node.name} cannot be rendered (label)"
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Rule 2: no mutable default arguments under src/
+# ----------------------------------------------------------------------
+def _is_mutable_default(default: ast.expr) -> bool:
+    if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(default, ast.Call)
+        and isinstance(default.func, ast.Name)
+        and default.func.id in MUTABLE_CALLS
+    )
+
+
+def check_mutable_defaults() -> List[str]:
+    violations: List[str] = []
+    for path in sorted(SOURCE_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    violations.append(
+                        f"{relative(path)}:{node.lineno}: function "
+                        f"{node.name} has a mutable default argument"
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Rule 3: benchmarks honour BENCH_SMOKE
+# ----------------------------------------------------------------------
+def check_bench_smoke() -> List[str]:
+    violations: List[str] = []
+    markers = ("scaled_sizes", "smoke_mode", "BENCH_SMOKE")
+    for path in sorted(BENCH_ROOT.glob("bench_*.py")):
+        text = path.read_text(encoding="utf-8")
+        if not any(marker in text for marker in markers):
+            violations.append(
+                f"{relative(path)}:1: benchmark never consults BENCH_SMOKE "
+                "(use scaled_sizes()/smoke_mode() from benchmarks/conftest.py)"
+            )
+    return violations
+
+
+def main() -> int:
+    violations = (
+        check_operator_faces() + check_mutable_defaults() + check_bench_smoke()
+    )
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"lint: {len(violations)} convention violation(s)")
+        return 1
+    print("lint: conventions hold (operator faces, defaults, BENCH_SMOKE)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

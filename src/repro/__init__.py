@@ -60,6 +60,15 @@ from .evaluation import (
     explain,
     query_covers_database,
 )
+from .analysis import (
+    Diagnostic,
+    PlanVerificationError,
+    Severity,
+    check_dependencies,
+    check_query,
+    check_workload,
+    verify_plan,
+)
 from .core import (
     SemAcConfig,
     SemAcDecision,
@@ -91,13 +100,16 @@ __all__ = [
     "ContainmentOutcome",
     "Database",
     "DependencyClass",
+    "Diagnostic",
     "EGD",
     "FunctionalDependency",
     "Instance",
     "Null",
+    "PlanVerificationError",
     "Predicate",
     "Relation",
     "Schema",
+    "Severity",
     "SemAcConfig",
     "SemAcDecision",
     "TGD",
@@ -109,6 +121,9 @@ __all__ = [
     "acyclic_approximations",
     "chase",
     "chase_query",
+    "check_dependencies",
+    "check_query",
+    "check_workload",
     "classify",
     "contained_under_egds",
     "contained_under_tgds",
@@ -144,5 +159,6 @@ __all__ = [
     "query_covers_database",
     "rewrite",
     "ucq_rewritable_height_bound",
+    "verify_plan",
     "__version__",
 ]

@@ -14,7 +14,12 @@ of :mod:`repro.parser`:
   answers through :func:`repro.evaluation.evaluate_iter`;
 * ``repro explain``     — print the chosen physical plan with estimated
   vs. observed cardinalities per operator (the EXPLAIN of the
-  operator IR).
+  operator IR); ``--verify`` appends the static plan verifier's verdict;
+* ``repro check``       — static analysis only: run the workload analyzer
+  (``WKL*`` diagnostics) over the query/dependencies and, with ``--data``,
+  the plan verifier (``PLAN*``) over the plans the router would emit.
+  Exit code 0/1/2 = worst severity (info/warning/error); ``--json`` emits
+  the diagnostics machine-readably.
 
 Usage examples::
 
@@ -32,6 +37,7 @@ data files contain one ground atom per line, e.g. ``Owns('alice', 'r1')``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import IO, List, Optional, Sequence, Union
@@ -93,7 +99,12 @@ def load_query(query_text: Optional[str], query_file: Optional[str]):
     if (query_text is None) == (query_file is None):
         raise SystemExit("provide exactly one of --query or --query-file")
     if query_file is not None:
-        query_text = Path(query_file).read_text(encoding="utf-8").strip()
+        # Same comment convention as the dependency/data loaders: anything
+        # after '%' is stripped, blank lines are dropped.
+        lines = Path(query_file).read_text(encoding="utf-8").splitlines()
+        query_text = " ".join(
+            stripped for line in lines if (stripped := line.split("%", 1)[0].strip())
+        )
     return parse_query(query_text)
 
 
@@ -240,6 +251,115 @@ def _cmd_evaluate(args: argparse.Namespace, out: IO[str]) -> int:
     return 0
 
 
+def _verification_lines(evaluator: YannakakisEvaluator) -> List[str]:
+    """The ``verification:`` block for an evaluator's two plan faces."""
+    from .analysis import verify_plan
+
+    diagnostics = list(verify_plan(evaluator.compile_answer_plan()))
+    diagnostics.extend(verify_plan(evaluator.compile_stream_plan(), streaming=True))
+    if not diagnostics:
+        return ["verification: clean"]
+    lines = [f"verification: {len(diagnostics)} diagnostic(s)"]
+    lines.extend(f"  {diagnostic.render()}" for diagnostic in diagnostics)
+    return lines
+
+
+def _cmd_check(args: argparse.Namespace, out: IO[str]) -> int:
+    from .analysis import (
+        Diagnostic,
+        Severity,
+        errors,
+        exit_code,
+        verify_plan,
+    )
+    from .datamodel import Schema
+    from .evaluation.join_plans import compile_plan, plan_greedy
+    from .evaluation.operators import Project, first_occurrence_schema
+
+    diagnostics: List[Diagnostic] = []
+    try:
+        dependencies = load_dependencies(args.constraints, args.dependency)
+    except ValueError as error:
+        dependencies = []
+        diagnostics.append(
+            Diagnostic(
+                "WKL001", Severity.ERROR, f"dependencies do not parse: {error}"
+            )
+        )
+    queries = []
+    if args.query is not None or args.query_file is not None:
+        try:
+            queries.append(load_query(args.query, args.query_file))
+        except ValueError as error:
+            diagnostics.append(
+                Diagnostic("WKL001", Severity.ERROR, f"query does not parse: {error}")
+            )
+    database = load_database(args.data) if args.data else None
+    schema = (
+        Schema.from_atoms(database.sorted_atoms()) if database is not None else None
+    )
+
+    from .analysis import check_workload
+
+    diagnostics.extend(check_workload(queries, dependencies, schema=schema))
+
+    route = None
+    if database is not None and queries and not errors(diagnostics):
+        tgds, _ = _split_dependencies(dependencies)
+        query = queries[0]
+        try:
+            route, evaluator = resolve_route(query, tgds=tgds, engine=args.engine)
+        except (AcyclicityRequired, NotSemanticallyAcyclic) as error:
+            raise SystemExit(str(error))
+        if evaluator is not None:
+            diagnostics.extend(verify_plan(evaluator.compile_answer_plan()))
+            diagnostics.extend(
+                verify_plan(evaluator.compile_stream_plan(), streaming=True)
+            )
+        else:
+            plan = plan_greedy(query, database)
+            if plan.steps:
+                top = Project(
+                    compile_plan(plan)[-1], first_occurrence_schema(query.head)
+                )
+                diagnostics.extend(verify_plan(top, streaming=True))
+
+    code = exit_code(diagnostics)
+    if args.json:
+        counts = {
+            str(severity): sum(1 for d in diagnostics if d.severity == severity)
+            for severity in Severity
+        }
+        record = {
+            "queries": len(queries),
+            "dependencies": len(dependencies),
+            "route": route,
+            "diagnostics": [d.as_dict() for d in diagnostics],
+            "counts": counts,
+            "exit_code": code,
+        }
+        print(json.dumps(record, indent=2), file=out)
+        return code
+    print(
+        f"checked: {len(queries)} query(ies), {len(dependencies)} dependency(ies)",
+        file=out,
+    )
+    if route is not None:
+        print(f"plan verified: {route} route", file=out)
+    for diagnostic in diagnostics:
+        print(diagnostic.render(), file=out)
+    fatal = sum(1 for d in diagnostics if d.severity == Severity.ERROR)
+    warnings = sum(1 for d in diagnostics if d.severity == Severity.WARNING)
+    info = sum(1 for d in diagnostics if d.severity == Severity.INFO)
+    verdict = "errors" if fatal else ("warnings" if warnings else "ok")
+    print(
+        f"result: {verdict} ({fatal} error(s), {warnings} warning(s), "
+        f"{info} info)",
+        file=out,
+    )
+    return code
+
+
 def _cmd_explain(args: argparse.Namespace, out: IO[str]) -> int:
     query = load_query(args.query, args.query_file)
     database = load_database(args.data)
@@ -254,17 +374,16 @@ def _cmd_explain(args: argparse.Namespace, out: IO[str]) -> int:
             decision = decide_semantic_acyclicity(query, egds)
             if decision.semantically_acyclic and decision.witness is not None:
                 witness = decision.witness
-                report = "\n".join(
-                    [
-                        f"query: {query}",
-                        "route: reformulated",
-                        f"reformulation: {witness}",
-                        YannakakisEvaluator(witness).explain(
-                            database, execute=execute
-                        ),
-                    ]
-                )
-                print(report, file=out)
+                evaluator = YannakakisEvaluator(witness)
+                lines = [
+                    f"query: {query}",
+                    "route: reformulated",
+                    f"reformulation: {witness}",
+                    evaluator.explain(database, execute=execute),
+                ]
+                if args.verify:
+                    lines.extend(_verification_lines(evaluator))
+                print("\n".join(lines), file=out)
                 return 0
         report = explain(
             query,
@@ -272,6 +391,7 @@ def _cmd_explain(args: argparse.Namespace, out: IO[str]) -> int:
             tgds=tgds,
             engine=args.engine,
             execute=execute,
+            verify=args.verify,
         )
     except (AcyclicityRequired, NotSemanticallyAcyclic) as error:
         raise SystemExit(str(error))
@@ -371,7 +491,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="show estimates only (skip running the plan for observed rows)",
     )
+    explain_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the static plan verifier on the explained plan and append "
+        "its diagnostics",
+    )
     explain_parser.set_defaults(handler=_cmd_explain)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="static analysis: workload diagnostics plus (with --data) plan "
+        "verification; exit code 0/1/2 = worst severity",
+    )
+    _add_common_inputs(check_parser)
+    check_parser.add_argument(
+        "--data",
+        help="optional data file; also statically verifies the plans the "
+        "router would emit for the query",
+    )
+    check_parser.add_argument(
+        "--engine",
+        choices=("auto", "yannakakis", "reformulation", "plan"),
+        default="auto",
+        help="route whose plans to verify with --data (default: auto)",
+    )
+    check_parser.add_argument(
+        "--json", action="store_true", help="emit the diagnostics as JSON"
+    )
+    check_parser.set_defaults(handler=_cmd_check)
 
     return parser
 

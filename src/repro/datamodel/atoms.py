@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Tuple
+from typing import Callable, Iterable, Mapping, Set, Tuple
 
 from .terms import Constant, Null, Term, Variable
 
@@ -56,19 +56,19 @@ class Atom:
     def relation_name(self) -> str:
         return self.predicate.name
 
-    def variables(self) -> set:
+    def variables(self) -> Set[Variable]:
         """Return the set of variables occurring in the atom."""
         return {t for t in self.terms if isinstance(t, Variable)}
 
-    def constants(self) -> set:
+    def constants(self) -> Set[Constant]:
         """Return the set of constants occurring in the atom."""
         return {t for t in self.terms if isinstance(t, Constant)}
 
-    def nulls(self) -> set:
+    def nulls(self) -> Set[Null]:
         """Return the set of nulls occurring in the atom."""
         return {t for t in self.terms if isinstance(t, Null)}
 
-    def terms_set(self) -> set:
+    def terms_set(self) -> Set[Term]:
         """Return the set of all terms occurring in the atom."""
         return set(self.terms)
 
@@ -107,38 +107,38 @@ class Atom:
         return f"Atom({self.predicate.name}, {self.terms!r})"
 
 
-def atoms_terms(atoms: Iterable[Atom]) -> set:
+def atoms_terms(atoms: Iterable[Atom]) -> Set[Term]:
     """Return the set of all terms occurring in ``atoms``."""
-    result: set = set()
+    result: Set[Term] = set()
     for atom in atoms:
         result.update(atom.terms)
     return result
 
 
-def atoms_variables(atoms: Iterable[Atom]) -> set:
+def atoms_variables(atoms: Iterable[Atom]) -> Set[Variable]:
     """Return the set of all variables occurring in ``atoms``."""
-    result: set = set()
+    result: Set[Variable] = set()
     for atom in atoms:
         result.update(atom.variables())
     return result
 
 
-def atoms_constants(atoms: Iterable[Atom]) -> set:
+def atoms_constants(atoms: Iterable[Atom]) -> Set[Constant]:
     """Return the set of all constants occurring in ``atoms``."""
-    result: set = set()
+    result: Set[Constant] = set()
     for atom in atoms:
         result.update(atom.constants())
     return result
 
 
-def atoms_nulls(atoms: Iterable[Atom]) -> set:
+def atoms_nulls(atoms: Iterable[Atom]) -> Set[Null]:
     """Return the set of all nulls occurring in ``atoms``."""
-    result: set = set()
+    result: Set[Null] = set()
     for atom in atoms:
         result.update(atom.nulls())
     return result
 
 
-def atoms_predicates(atoms: Iterable[Atom]) -> set:
+def atoms_predicates(atoms: Iterable[Atom]) -> Set[Predicate]:
     """Return the set of predicates occurring in ``atoms``."""
     return {atom.predicate for atom in atoms}

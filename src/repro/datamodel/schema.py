@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .atoms import Atom, Predicate
 
@@ -86,7 +86,7 @@ class Schema:
             return NotImplemented
         return self._predicates == other._predicates
 
-    def predicates(self) -> list:
+    def predicates(self) -> List[Predicate]:
         """Return the predicates of the schema in a deterministic order."""
         return sorted(self._predicates.values())
 

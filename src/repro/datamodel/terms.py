@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Iterable, List, Set, Union
 
 
 @dataclass(frozen=True, order=True)
@@ -143,11 +143,11 @@ class TermFactory:
             index = next(self._variable_counter)
         return Variable(f"{self._variable_prefix}{index}")
 
-    def fresh_nulls(self, count: int) -> list:
+    def fresh_nulls(self, count: int) -> List[Null]:
         """Return ``count`` distinct fresh nulls."""
         return [self.fresh_null() for _ in range(count)]
 
-    def fresh_variables(self, count: int) -> list:
+    def fresh_variables(self, count: int) -> List[Variable]:
         """Return ``count`` distinct fresh variables."""
         return [self.fresh_variable() for _ in range(count)]
 
@@ -197,17 +197,17 @@ def is_frozen_constant(term: Term) -> bool:
     )
 
 
-def constants_of(terms: Iterable[Term]) -> set:
+def constants_of(terms: Iterable[Term]) -> Set[Constant]:
     """Return the set of constants occurring in ``terms``."""
     return {t for t in terms if isinstance(t, Constant)}
 
 
-def nulls_of(terms: Iterable[Term]) -> set:
+def nulls_of(terms: Iterable[Term]) -> Set[Null]:
     """Return the set of nulls occurring in ``terms``."""
     return {t for t in terms if isinstance(t, Null)}
 
 
-def variables_of(terms: Iterable[Term]) -> set:
+def variables_of(terms: Iterable[Term]) -> Set[Variable]:
     """Return the set of variables occurring in ``terms``."""
     return {t for t in terms if isinstance(t, Variable)}
 

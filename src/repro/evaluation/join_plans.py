@@ -314,6 +314,13 @@ def _plan_from_order(
 # ----------------------------------------------------------------------
 # Compilation and execution
 # ----------------------------------------------------------------------
+def _maybe_verify(root: Operator, *, streaming: bool = False, where: str = "") -> None:
+    """The ``REPRO_VERIFY`` seam for the plan route (lazy, env-gated)."""
+    from ..analysis.verify_plan import maybe_verify
+
+    maybe_verify(root, streaming=streaming, where=where)
+
+
 def compile_plan(plan: JoinPlan) -> List[Operator]:
     """Compile a plan into its left-deep operator chain, one entry per step.
 
@@ -348,6 +355,8 @@ def execute_plan(
     """
     context = ExecutionContext(database, scans)
     ops = compile_plan(plan)
+    if ops:
+        _maybe_verify(ops[-1], where="join_plans.execute_plan")
     relation = Relation.unit()
     intermediate_sizes: List[int] = []
     for op in ops:
@@ -392,6 +401,7 @@ def iter_plan_answers(
     ops = compile_plan(plan)
     head_schema = first_occurrence_schema(plan.query.head)
     top = Project(ops[-1], head_schema)
+    _maybe_verify(top, streaming=True, where="join_plans.iter_plan_answers")
     head_positions = tuple(head_schema.index(v) for v in plan.query.head)
 
     context = ExecutionContext(database, scans)
@@ -426,6 +436,7 @@ def explain_plan(
         return "(empty plan: the nullary query)"
     ops = compile_plan(plan)
     top: Operator = Project(ops[-1], first_occurrence_schema(plan.query.head))
+    _maybe_verify(top, where="join_plans.explain_plan")
     model = CostModel(
         statistics if statistics is not None else Statistics(database, scans)
     )

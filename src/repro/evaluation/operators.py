@@ -151,6 +151,25 @@ class Operator:
     def _count_probe(self) -> None:
         self.observed_probes = (self.observed_probes or 0) + 1
 
+    # -- traversal ------------------------------------------------------
+    def walk(self) -> Iterator["Operator"]:
+        """Yield this operator and every distinct descendant exactly once.
+
+        DAG-safe (shared sub-operators appear once) and — unlike a naive
+        recursion — terminating even on malformed cyclic graphs, which is
+        what lets the static verifier (:mod:`repro.analysis.verify_plan`)
+        and ad-hoc plan inspection share one traversal.
+        """
+        seen: Set[int] = set()
+        stack: List["Operator"] = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(node.children)
+
     # -- presentation ---------------------------------------------------
     def label(self) -> str:
         raise NotImplementedError

@@ -126,6 +126,26 @@ def evaluate_via_reformulation(
     return SemAcEvaluation.from_reformulation(query, reformulation).evaluate(database)
 
 
+def _route_verified(
+    route: str, evaluator: YannakakisEvaluator
+) -> Tuple[str, YannakakisEvaluator]:
+    """Apply the ``REPRO_VERIFY`` hook to an evaluator route.
+
+    When the environment enables verification, both plan faces are compiled
+    eagerly here — each compiler runs the static verifier on what it emits
+    (:func:`repro.analysis.verify_plan.maybe_verify`), so a plan violating
+    the IR contracts fails at *routing* time, before any execution.  The
+    plan route is covered by the same hook inside
+    :mod:`repro.evaluation.join_plans` when its plans are compiled.
+    """
+    from ..analysis.verify_plan import verification_enabled
+
+    if verification_enabled():
+        evaluator.compile_answer_plan()
+        evaluator.compile_stream_plan()
+    return (route, evaluator)
+
+
 def resolve_route(
     query: ConjunctiveQuery,
     *,
@@ -140,7 +160,12 @@ def resolve_route(
     reformulation) or ``"plan"`` (greedy join-plan fallback, ``evaluator``
     is ``None``).  ``engine`` forces a route the same way it does on
     :func:`evaluate_iter`; routing work (join tree construction, the
-    reformulation search) happens here, eagerly.
+    reformulation search) happens here, eagerly.  With the ``REPRO_VERIFY``
+    environment variable set (to anything but ``0``/``false``/``no``), the
+    chosen evaluator's plans are compiled and statically verified here too
+    (:mod:`repro.analysis.verify_plan`), so an IR-contract violation
+    surfaces at routing time as a
+    :class:`~repro.analysis.PlanVerificationError`.
 
     Raises:
         ValueError: for an unknown ``engine``.
@@ -155,7 +180,7 @@ def resolve_route(
         )
     if engine in ("auto", "yannakakis"):
         try:
-            return ("yannakakis", YannakakisEvaluator(query))
+            return _route_verified("yannakakis", YannakakisEvaluator(query))
         except AcyclicityRequired:
             if engine == "yannakakis":
                 raise
@@ -164,7 +189,7 @@ def resolve_route(
 
         reformulation = find_acyclic_reformulation_tgds(query, tgds)
         if reformulation is not None:
-            return ("reformulated", YannakakisEvaluator(reformulation))
+            return _route_verified("reformulated", YannakakisEvaluator(reformulation))
         if engine == "reformulation":
             raise NotSemanticallyAcyclic(
                 f"{query.name} is not semantically acyclic under the given tgds"
@@ -220,6 +245,7 @@ def explain(
     engine: str = "auto",
     scans: Optional[ScanProvider] = None,
     execute: bool = True,
+    verify: bool = False,
 ) -> str:
     """Pretty-print the physical plan chosen for ``query`` over ``database``.
 
@@ -239,8 +265,11 @@ def explain(
 
     ``engine`` forces a route; ``scans`` injects a shared
     :class:`~repro.evaluation.batch.ScanCache` (the statistics then reuse
-    its base scans).  Raises like :func:`evaluate_iter` on impossible
-    forced routes.
+    its base scans).  ``verify=True`` additionally runs the static plan
+    verifier (:func:`repro.analysis.verify_plan`) over both compiled faces
+    of the explained route and appends its findings — ``verification:
+    clean`` on a plan with no diagnostics.  Raises like
+    :func:`evaluate_iter` on impossible forced routes.
     """
     route, evaluator = resolve_route(query, tgds=tgds, engine=engine)
     if scans is None:
@@ -248,6 +277,7 @@ def explain(
         # the executed plan all draw the same base scans and partitions.
         scans = ScanCache(database)
     lines = [f"query: {query}", f"route: {route}"]
+    plan = None
     if evaluator is not None:
         if route == "reformulated":
             lines.append(f"reformulation: {evaluator.query}")
@@ -260,6 +290,28 @@ def explain(
                 plan, database, scans=scans, statistics=statistics, execute=execute
             )
         )
+    if verify:
+        from ..analysis.verify_plan import verify_plan
+
+        diagnostics = []
+        if evaluator is not None:
+            diagnostics.extend(verify_plan(evaluator.compile_answer_plan()))
+            diagnostics.extend(
+                verify_plan(evaluator.compile_stream_plan(), streaming=True)
+            )
+        elif plan is not None and plan.steps:
+            from .join_plans import compile_plan
+            from .operators import Project, first_occurrence_schema
+
+            top = Project(
+                compile_plan(plan)[-1], first_occurrence_schema(query.head)
+            )
+            diagnostics.extend(verify_plan(top, streaming=True))
+        if diagnostics:
+            lines.append(f"verification: {len(diagnostics)} diagnostic(s)")
+            lines.extend(f"  {diagnostic.render()}" for diagnostic in diagnostics)
+        else:
+            lines.append("verification: clean")
     return "\n".join(lines)
 
 

@@ -79,6 +79,18 @@ class AcyclicityRequired(ValueError):
     """Raised when Yannakakis' algorithm is applied to a cyclic query."""
 
 
+def _maybe_verify(plan: Operator, *, streaming: bool = False, where: str = "") -> None:
+    """The ``REPRO_VERIFY`` seam: statically verify every emitted plan.
+
+    Lazy import so the evaluation layer carries no analysis dependency when
+    the hook is off; :func:`repro.analysis.verify_plan.maybe_verify` is a
+    no-op unless the ``REPRO_VERIFY`` environment variable enables it.
+    """
+    from ..analysis.verify_plan import maybe_verify
+
+    maybe_verify(plan, streaming=streaming, where=where)
+
+
 class YannakakisEvaluator:
     """Evaluator bound to one acyclic CQ; reusable across databases.
 
@@ -184,9 +196,10 @@ class YannakakisEvaluator:
             partial[identifier] = Project(op, self._carry[identifier])
         root = partial[self.join_tree.root]
         head_schema = first_occurrence_schema(self.query.head)
-        if head_schema == root.schema:
-            return root
-        return Project(root, head_schema)
+        if head_schema != root.schema:
+            root = Project(root, head_schema)
+        _maybe_verify(root, where="YannakakisEvaluator.compile_answer_plan")
+        return root
 
     def compile_stream_plan(
         self, *, reduce: bool = True, boolean: bool = False
@@ -203,9 +216,13 @@ class YannakakisEvaluator:
             carry = self._boolean_carry
         else:
             carry = self._carry
-        return CursorEnumerate(
+        plan = CursorEnumerate(
             self.join_tree, self.compile_reduction(reduce=reduce), carry
         )
+        _maybe_verify(
+            plan, streaming=True, where="YannakakisEvaluator.compile_stream_plan"
+        )
+        return plan
 
     def _context(
         self, database: Instance, scans: Optional[ScanProvider]

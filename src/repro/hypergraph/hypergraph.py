@@ -19,7 +19,7 @@ builder.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from ..datamodel import Atom, Constant, Instance, Null, Term, Variable, is_frozen_constant
 
@@ -96,7 +96,7 @@ class Hypergraph:
     def __len__(self) -> int:
         return len(self._edges)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[HyperEdge]:
         return iter(self._edges)
 
     def vertex_occurrences(self) -> Dict[Term, Set[int]]:

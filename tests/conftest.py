@@ -1,6 +1,13 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+
+# Tier-1 runs with static plan verification switched on: every plan the
+# engines emit anywhere in the suite is re-checked by repro.analysis
+# (a test that needs it off can monkeypatch the variable).
+os.environ.setdefault("REPRO_VERIFY", "1")
 
 from repro.datamodel import Atom, Constant, Database, Predicate, Variable
 from repro.parser import parse_query, parse_tgd

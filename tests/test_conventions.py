@@ -1,0 +1,30 @@
+"""The convention lint itself runs under tier-1, so a violating change
+fails `make test` even before CI runs `make lint`."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_script(name):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / name)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_convention_lint_is_clean():
+    result = run_script("lint_conventions.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "conventions hold" in result.stdout
+
+
+def test_typecheck_wrapper_runs():
+    """Exit 0 both where mypy exists (clean tree) and where it is absent
+    (graceful skip) — either way the wrapper must not crash."""
+    result = run_script("run_typecheck.py")
+    assert result.returncode == 0, result.stdout + result.stderr

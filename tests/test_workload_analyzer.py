@@ -1,0 +1,220 @@
+"""Workload analyzer (WKL codes) and the ``repro check`` subcommand.
+
+One test class per concern: query-level checks, dependency-level checks
+(termination certificates with their explanations, stickiness), workload-wide
+arity reconciliation, and the CLI gate with its severity → exit-code mapping.
+"""
+
+import io
+import json
+
+from repro.analysis import (
+    Severity,
+    check_dependencies,
+    check_query,
+    check_query_parts,
+    check_workload,
+    exit_code,
+)
+from repro.cli import main
+from repro.datamodel import Atom, Constant, Predicate, Schema, Variable
+from repro.parser import parse_egd, parse_query, parse_tgd
+
+
+x, y = Variable("x"), Variable("y")
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestQueryChecks:
+    def test_clean_query_has_no_diagnostics(self):
+        query = parse_query("q(x, z) :- E(x, y), F(y, z)")
+        assert check_query(query) == []
+
+    def test_wkl001_unsafe_head(self):
+        diagnostics = check_query_parts(
+            (x,), [Atom(Predicate("P", 1), (y,))]
+        )
+        assert codes(diagnostics) == ["WKL001"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_wkl002_intra_query_arity_clash(self):
+        query = parse_query("q(x) :- P(x), P(x, y)")
+        diagnostics = check_query(query)
+        assert "WKL002" in codes(diagnostics)
+        assert "arity 1" in diagnostics[0].message
+        assert "arity 2" in diagnostics[0].message
+
+    def test_wkl003_schema_disagreements(self):
+        schema = Schema.from_atoms(
+            [Atom(Predicate("E", 2), (Constant("a"), Constant("b")))]
+        )
+        query = parse_query("q(x) :- E(x), Ghost(x)")
+        diagnostics = check_query(query, schema=schema)
+        by_code = {d.message: d for d in diagnostics}
+        assert codes(diagnostics) == ["WKL003", "WKL003"]
+        severities = sorted(d.severity for d in diagnostics)
+        assert severities == [Severity.WARNING, Severity.ERROR]
+        assert any("declares E/2" in m for m in by_code)
+        assert any("not declared" in m for m in by_code)
+
+    def test_wkl004_egd_unsatisfiable_query(self):
+        query = parse_query("q(x) :- R(x, 'a'), R(x, 'b')")
+        egd = parse_egd("R(u, v), R(u, w) -> v = w")
+        diagnostics = check_query(query, egds=[egd])
+        assert codes(diagnostics) == ["WKL004"]
+        assert "unsatisfiable" in diagnostics[0].message
+
+    def test_wkl004_satisfiable_query_is_clean(self):
+        query = parse_query("q(x) :- R(x, 'a'), R(x, y)")
+        egd = parse_egd("R(u, v), R(u, w) -> v = w")
+        assert check_query(query, egds=[egd]) == []
+
+    def test_wkl008_disconnected_body(self):
+        query = parse_query("q(x, y) :- E(x, u), F(y, v)")
+        diagnostics = check_query(query)
+        assert codes(diagnostics) == ["WKL008"]
+        assert diagnostics[0].severity is Severity.INFO
+        assert "2 connected components" in diagnostics[0].message
+
+
+class TestDependencyChecks:
+    def test_wkl006_non_recursive_certificate(self):
+        diagnostics = check_dependencies([parse_tgd("A(x) -> B(x)")])
+        assert codes(diagnostics) == ["WKL006"]
+        assert "non-recursive" in diagnostics[0].message
+
+    def test_wkl006_weakly_acyclic_certificate(self):
+        tgds = [parse_tgd("A(x) -> B(x, y)"), parse_tgd("B(x, y) -> A(x)")]
+        diagnostics = check_dependencies(tgds)
+        assert "WKL006" in codes(diagnostics)
+        message = next(d for d in diagnostics if d.code == "WKL006").message
+        assert "weakly-acyclic" in message
+
+    def test_wkl005_refuting_cycle_witness(self):
+        tgds = [
+            parse_tgd("Person(x) -> Parent(x, y)"),
+            parse_tgd("Parent(x, y) -> Person(y)"),
+        ]
+        diagnostics = check_dependencies(tgds)
+        assert "WKL005" in codes(diagnostics)
+        finding = next(d for d in diagnostics if d.code == "WKL005")
+        assert finding.severity is Severity.WARNING
+        assert "Person[0] -> Parent[1] -> Person[0]" in finding.message
+        assert "step budget" in finding.hint
+
+    def test_wkl007_non_sticky_tgds(self, music_store):
+        _query, tgds, _reformulation = music_store
+        diagnostics = check_dependencies(tgds)
+        finding = next(d for d in diagnostics if d.code == "WKL007")
+        assert finding.severity is Severity.INFO
+        assert "not sticky" in finding.message
+
+    def test_empty_dependency_set_is_clean(self):
+        assert check_dependencies([]) == []
+
+
+class TestWorkloadChecks:
+    def test_cross_workload_arity_clash_reported_once(self):
+        query = parse_query("q(x) :- R(x)")
+        tgd = parse_tgd("S(x) -> R(x, x)")
+        diagnostics = check_workload([query], [tgd])
+        assert codes(diagnostics).count("WKL002") == 1
+        assert diagnostics[0].subject == "workload"
+
+    def test_clean_workload_certifies_termination(self, music_store):
+        query, tgds, _reformulation = music_store
+        diagnostics = check_workload([query], tgds)
+        assert exit_code(diagnostics) == 0
+        assert "WKL006" in codes(diagnostics)
+
+
+class TestCheckCommand:
+    CYCLIC_RULES = [
+        "--dependency",
+        "Person(x) -> Parent(x, y)",
+        "--dependency",
+        "Parent(x, y) -> Person(y)",
+    ]
+
+    def test_exit_0_on_clean_workload(self):
+        code, output = run_cli(
+            ["check", "--query", "q(x) :- E(x, y)", "--dependency", "E(x, y) -> F(y)"]
+        )
+        assert code == 0
+        assert "result: ok" in output
+
+    def test_exit_1_on_warnings(self):
+        code, output = run_cli(
+            ["check", "--query", "q(x) :- Person(x)"] + self.CYCLIC_RULES
+        )
+        assert code == 1
+        assert "WKL005" in output
+        assert "refuting cycle" in output
+        assert "result: warnings" in output
+
+    def test_exit_2_on_errors(self):
+        code, output = run_cli(["check", "--query", "q(x) :- P(x), P(x, y)"])
+        assert code == 2
+        assert "WKL002" in output
+        assert "result: errors" in output
+
+    def test_malformed_query_reports_wkl001(self, tmp_path):
+        query_file = tmp_path / "query.txt"
+        query_file.write_text("q(x) :- E(y, z)\n")
+        code, output = run_cli(["check", "--query-file", str(query_file)])
+        assert code == 2
+        assert "WKL001" in output
+
+    def test_json_payload(self):
+        code, output = run_cli(
+            ["check", "--query", "q(x) :- Person(x)", "--json"] + self.CYCLIC_RULES
+        )
+        payload = json.loads(output)
+        assert code == payload["exit_code"] == 1
+        assert payload["queries"] == 1
+        assert payload["dependencies"] == 2
+        assert payload["counts"]["warning"] == 1
+        assert payload["diagnostics"][0]["code"] == "WKL005"
+        assert payload["diagnostics"][0]["severity"] == "warning"
+
+    def test_check_with_data_verifies_the_plan(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\n")
+        code, output = run_cli(
+            ["check", "--query", "q(x, z) :- E(x, y), E(y, z)", "--data", str(data)]
+        )
+        assert code == 0
+        assert "plan verified: yannakakis route" in output
+
+    def test_check_with_data_plan_route(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
+        code, output = run_cli(
+            [
+                "check",
+                "--query",
+                "q(x) :- E(x, y), E(y, z), E(z, x)",
+                "--data",
+                str(data),
+            ]
+        )
+        assert code == 0
+        assert "plan verified: plan route" in output
+
+    def test_explain_verify_reports_clean(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\n")
+        code, output = run_cli(
+            ["explain", "--query", "q(x) :- E(x, y)", "--data", str(data), "--verify"]
+        )
+        assert code == 0
+        assert "verification: clean" in output
