@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test typecheck lint docs-check bench bench-smoke bench-enum bench-plans
+.PHONY: test typecheck lint docs-check bench bench-smoke bench-enum bench-plans bench-backend
 
 ## Tier-1 verify: the command every PR must keep green.
 ## REPRO_VERIFY=1 statically re-checks every plan the engines emit.
@@ -38,3 +38,7 @@ bench-enum:
 ## Plan quality: greedy intermediates, legacy heuristic vs calibrated model.
 bench-plans:
 	$(PYTEST) benchmarks/bench_plan_quality.py -s
+
+## Backend comparison: tuple vs columnar on the Yannakakis scaling workload.
+bench-backend:
+	$(PYTEST) benchmarks/bench_yannakakis_scaling.py -k backend -s

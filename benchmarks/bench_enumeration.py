@@ -40,8 +40,9 @@ from typing import Dict, List, Optional, Sequence
 
 import pytest
 
-from repro.evaluation import YannakakisEvaluator
+from repro.evaluation import ScanCache, YannakakisEvaluator
 from repro.evaluation.relation import Partition
+from repro.reporting import BenchSnapshot
 from repro.workloads.generators import wide_output_workload
 from conftest import print_series, scaled_sizes, smoke_mode
 
@@ -120,6 +121,21 @@ def run_enumeration(
             lambda: next(evaluator.iter_answers(database)), repeats
         )
 
+        # ISSUE 7: the columnar backend on the same materialising face —
+        # cross-checked against the tuple answers, cache per backend so the
+        # encodings amortise across the timed repeats.
+        columnar_scans = ScanCache(database)
+        columnar_answers = evaluator.evaluate(
+            database, scans=columnar_scans, backend="columnar"
+        )
+        assert columnar_answers == answers
+        columnar_time = _best_of(
+            lambda: evaluator.evaluate(
+                database, scans=columnar_scans, backend="columnar"
+            ),
+            repeats,
+        )
+
         sample = min(DELAY_SAMPLE, len(answers))
         start = time.perf_counter()
         consumed = sum(
@@ -142,6 +158,8 @@ def run_enumeration(
                 "db": len(database),
                 "answers": len(answers),
                 "materialise_time": materialise_time,
+                "columnar_time": columnar_time,
+                "backend_ratio": materialise_time / columnar_time,
                 "first_time": first_time,
                 "delay": delay,
                 "materialise_probes": materialise_probes,
@@ -165,6 +183,8 @@ def test_streaming_first_answer_flat_materialising_grows():
                 row["db"],
                 row["answers"],
                 _format(row["materialise_time"], "s"),
+                _format(row["columnar_time"], "s"),
+                f"{row['backend_ratio']:.2f}×",
                 _format(row["first_time"], "s"),
                 _format(row["delay"], "s"),
                 f"{row['first_probes']}/{row['materialise_probes']}",
@@ -176,11 +196,26 @@ def test_streaming_first_answer_flat_materialising_grows():
             "|D|",
             "answers",
             "materialise",
+            "columnar",
+            "ratio",
             "first answer",
             "delay",
             "probes first/mat",
         ],
     )
+    snapshot = BenchSnapshot("enumeration")
+    snapshot.record("rays", [row["rays"] for row in rows])
+    snapshot.record("answers", [row["answers"] for row in rows])
+    snapshot.record("backend_ratios", [row["backend_ratio"] for row in rows])
+    snapshot.record(
+        "first_probes", [row["first_probes"] for row in rows]
+    )
+    snapshot.record(
+        "materialise_probes", [row["materialise_probes"] for row in rows]
+    )
+    for row in rows:
+        snapshot.add_row("curve", row)
+    snapshot.write()
     smallest, largest = rows[0], rows[-1]
     print(
         f"    first-answer speedup over materialising at {largest['answers']} "

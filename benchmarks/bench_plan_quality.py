@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.evaluation import execute_plan, plan_greedy, plan_greedy_heuristic
+from repro.reporting import BenchSnapshot
 from repro.workloads.generators import plan_quality_workload
 from conftest import print_series, scaled_sizes, smoke_mode
 
@@ -51,6 +52,14 @@ def run_plan_quality(sizes: Sequence[int] = SIZES, seed: int = 0) -> List[Dict[s
         heuristic = execute_plan(plan_greedy_heuristic(query, database), database)
         calibrated = execute_plan(plan_greedy(query, database), database)
         assert calibrated.answers == heuristic.answers, "the planners must agree"
+        # ISSUE 7: the columnar backend executes the same calibrated plan
+        # with identical answers and intermediate sizes (the backend changes
+        # representation, never semantics).
+        columnar = execute_plan(
+            plan_greedy(query, database), database, backend="columnar"
+        )
+        assert columnar.answers == calibrated.answers
+        assert columnar.intermediate_sizes == calibrated.intermediate_sizes
         rows.append(
             {
                 "size": size,
@@ -92,6 +101,12 @@ def test_calibrated_plans_shrink_intermediates():
             "ratio",
         ),
     )
+    snapshot = BenchSnapshot("plan_quality")
+    snapshot.record("sizes", [row["size"] for row in rows])
+    snapshot.record("intermediate_ratios", [row["ratio"] for row in rows])
+    for row in rows:
+        snapshot.add_row("curve", row)
+    snapshot.write()
     # The calibrated model must never do worse on this workload.
     for row in rows:
         assert row["calibrated_total"] <= row["heuristic_total"]

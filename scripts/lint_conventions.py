@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repository-convention lint — rules a generic linter cannot know.
 
-Three rules, each encoding a convention the codebase actually relies on:
+Four rules, each encoding a convention the codebase actually relies on:
 
 1. **Operator faces** — every concrete operator node in
    ``src/repro/evaluation/operators.py`` implements both execution faces
@@ -15,6 +15,12 @@ Three rules, each encoding a convention the codebase actually relies on:
    must consult the smoke-mode machinery (``scaled_sizes``/``smoke_mode``
    or the raw ``BENCH_SMOKE`` variable) so `make bench-smoke` and CI can
    run the whole suite in seconds.
+4. **Batch face is verifier-covered** — every operator class that
+   overrides the batch face (``iter_batches`` or ``_materialize_encoded``)
+   must be registered in the ``_BATCH_WIDTHS`` table of
+   ``src/repro/analysis/verify_plan.py``, so the static verifier's
+   batch-face width check (PLAN013/PLAN014) can recompute its output
+   width instead of warning it unchecked.
 
 Exit 0 when clean, 1 with one line per violation otherwise (run via
 ``make lint``).
@@ -27,6 +33,7 @@ from typing import List
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OPERATORS_FILE = REPO_ROOT / "src" / "repro" / "evaluation" / "operators.py"
+VERIFIER_FILE = REPO_ROOT / "src" / "repro" / "analysis" / "verify_plan.py"
 SOURCE_ROOT = REPO_ROOT / "src"
 BENCH_ROOT = REPO_ROOT / "benchmarks"
 
@@ -128,16 +135,70 @@ def check_bench_smoke() -> List[str]:
     return violations
 
 
+# ----------------------------------------------------------------------
+# Rule 4: batch-face operators are covered by the static verifier
+# ----------------------------------------------------------------------
+def _batch_width_registry_keys() -> List[str]:
+    """The class names keyed in verify_plan's ``_BATCH_WIDTHS`` table."""
+    tree = ast.parse(VERIFIER_FILE.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = {
+            target.id for target in node.targets if isinstance(target, ast.Name)
+        }
+        if "_BATCH_WIDTHS" in targets and isinstance(node.value, ast.Dict):
+            return [
+                key.id for key in node.value.keys if isinstance(key, ast.Name)
+            ]
+    return []
+
+
+def check_batch_face_registry() -> List[str]:
+    violations: List[str] = []
+    registered = set(_batch_width_registry_keys())
+    if not registered:
+        violations.append(
+            f"{relative(VERIFIER_FILE)}:1: _BATCH_WIDTHS registry not found "
+            "(the batch-face width check has nothing to dispatch on)"
+        )
+        return violations
+    tree = ast.parse(OPERATORS_FILE.read_text(encoding="utf-8"))
+    batch_methods = {"iter_batches", "_materialize_encoded"}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {base.id for base in node.bases if isinstance(base, ast.Name)}
+        if "Operator" not in bases:
+            continue
+        methods = {
+            item.name for item in node.body if isinstance(item, ast.FunctionDef)
+        }
+        if methods & batch_methods and node.name not in registered:
+            violations.append(
+                f"{relative(OPERATORS_FILE)}:{node.lineno}: operator "
+                f"{node.name} overrides the batch face but is not in "
+                "verify_plan._BATCH_WIDTHS (PLAN013 would fire on every plan)"
+            )
+    return violations
+
+
 def main() -> int:
     violations = (
-        check_operator_faces() + check_mutable_defaults() + check_bench_smoke()
+        check_operator_faces()
+        + check_mutable_defaults()
+        + check_bench_smoke()
+        + check_batch_face_registry()
     )
     for violation in violations:
         print(violation)
     if violations:
         print(f"lint: {len(violations)} convention violation(s)")
         return 1
-    print("lint: conventions hold (operator faces, defaults, BENCH_SMOKE)")
+    print(
+        "lint: conventions hold "
+        "(operator faces, defaults, BENCH_SMOKE, batch-face registry)"
+    )
     return 0
 
 

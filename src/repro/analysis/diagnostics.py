@@ -51,6 +51,8 @@ CODES: Dict[str, str] = {
     "PLAN010": "scan atom malformed (arity mismatch or null argument)",
     "PLAN011": "streaming plan does not put CursorEnumerate at the root",
     "PLAN012": "streaming hash-join chain is not left-deep over scans",
+    "PLAN013": "operator type is outside the batch-face width registry",
+    "PLAN014": "batch face out of sync (width or cached encoding vs schema)",
     "WKL001": "malformed or unsafe query",
     "WKL002": "one predicate used with two different arities",
     "WKL003": "atom disagrees with the declared schema",

@@ -19,6 +19,8 @@ PLAN009  estimates are finite and non-negative                      error
 PLAN010  scan atoms are well-formed (arity, no nulls)               error
 PLAN011  streaming: a cursor plan keeps CursorEnumerate at the root warning
 PLAN012  streaming: hash-join chains stay left-deep over scans      warning
+PLAN013  batch face: operator type is in the width registry         warning
+PLAN014  batch face: width/cached encoding agree with the schema    error
 ======== ========================================================== ========
 
 The key idea is *recomputation*: the verifier re-runs the same position
@@ -32,6 +34,17 @@ plausible.
 ``streaming=True`` additionally applies the streaming-face shape checks
 (PLAN011/PLAN012); materialising plans — e.g. the bushy Yannakakis answer
 assembly — are verified without them.
+
+The batch face (:meth:`~repro.evaluation.operators.Operator.iter_batches`,
+PR 7's columnar backend) is covered by :data:`_BATCH_WIDTHS`: for every
+registered operator type the verifier recomputes the integer-column width
+its batch implementation produces and compares it with ``len(op.schema)``;
+a cached encoded result (``op._encoded``) must agree with the schema too
+(PLAN014).  An operator type outside the registry cannot be checked and is
+reported as PLAN013 — :mod:`scripts.lint_conventions` enforces that every
+operator overriding the batch face is registered here.  Batch checks run
+only on nodes whose tuple-face invariants verified clean, so a corrupted
+node reports the precise tuple-face code rather than a duplicate.
 
 :func:`verify_or_raise` turns ERROR findings into a
 :class:`PlanVerificationError`; :func:`maybe_verify` is the ``REPRO_VERIFY``
@@ -139,6 +152,23 @@ _CHILD_COUNTS = {
     Distinct: 1,
     SemiJoin: 2,
     HashJoin: 2,
+}
+
+#: Batch-face width registry: for each operator type, recompute the number
+#: of integer columns its ``iter_batches``/``_materialize_encoded``
+#: implementation produces, from the child schemas and the operator's own
+#: stored position arithmetic.  Keyed by exact type — a subclass may change
+#: the batch semantics, so it must register (or fall back to the generic
+#: encode-after-materialize path) explicitly.  ``lint_conventions.py``
+#: cross-checks this registry against ``operators.py``.
+_BATCH_WIDTHS = {
+    Scan: lambda op: len(compile_scan_pattern(op.atom.terms).variables),
+    Select: lambda op: len(op.children[0].schema),
+    Project: lambda op: len(op._positions),
+    Distinct: lambda op: len(op.children[0].schema),
+    SemiJoin: lambda op: len(op.children[0].schema),
+    HashJoin: lambda op: len(op.children[0].schema) + len(op._right_residual),
+    CursorEnumerate: lambda op: len(op.node_carry[op.tree.root]),
 }
 
 
@@ -445,11 +475,76 @@ def _check_enumerate(
         report(f"enumeration structure could not be checked: {error}")
 
 
+def _check_batch_face(operator: Operator, diagnostics: List[Diagnostic]) -> None:
+    """PLAN013/PLAN014: the batch face agrees with the (clean) tuple face.
+
+    Only called on nodes whose tuple-face checks produced no findings, so a
+    single corruption reports the precise tuple-face code instead of being
+    duplicated as a width mismatch.
+    """
+    label = _label(operator)
+    recompute = _BATCH_WIDTHS.get(type(operator))
+    if recompute is None:
+        diagnostics.append(
+            Diagnostic(
+                "PLAN013",
+                Severity.WARNING,
+                f"{type(operator).__name__} is not in the batch-face width "
+                "registry — iter_batches() falls back to the generic "
+                "encode-after-materialize path and its shape cannot be "
+                "statically checked",
+                subject=label,
+            )
+        )
+        return
+    try:
+        width = recompute(operator)
+    except Exception as error:
+        diagnostics.append(
+            Diagnostic(
+                "PLAN014",
+                Severity.ERROR,
+                f"batch-face width could not be recomputed: {error}",
+                subject=label,
+            )
+        )
+        return
+    if width != len(operator.schema):
+        diagnostics.append(
+            Diagnostic(
+                "PLAN014",
+                Severity.ERROR,
+                f"batch face produces {width} integer column(s) but the "
+                f"schema has width {len(operator.schema)}",
+                subject=label,
+            )
+        )
+        return
+    encoded = getattr(operator, "_encoded", None)
+    if encoded is not None and (
+        tuple(encoded.schema) != tuple(operator.schema)
+        or len(encoded.store.columns) != len(operator.schema)
+    ):
+        diagnostics.append(
+            Diagnostic(
+                "PLAN014",
+                Severity.ERROR,
+                "cached encoded result (schema "
+                f"({', '.join(map(str, encoded.schema))}), "
+                f"{len(encoded.store.columns)} column(s)) is out of sync "
+                "with the operator schema "
+                f"({', '.join(map(str, operator.schema))})",
+                subject=label,
+            )
+        )
+
+
 def _check_node(operator: Operator, diagnostics: List[Diagnostic]) -> None:
     if not _check_schema(operator, diagnostics):
         return
     if not _check_child_count(operator, diagnostics):
         return
+    before = len(diagnostics)
     try:
         if isinstance(operator, Scan):
             _check_scan(operator, diagnostics)
@@ -474,6 +569,8 @@ def _check_node(operator: Operator, diagnostics: List[Diagnostic]) -> None:
                 subject=_label(operator),
             )
         )
+    if len(diagnostics) == before:
+        _check_batch_face(operator, diagnostics)
 
 
 # ----------------------------------------------------------------------

@@ -236,9 +236,9 @@ def _cmd_evaluate(args: argparse.Namespace, out: IO[str]) -> int:
                 route, evaluator = "reformulated", YannakakisEvaluator(decision.witness)
         how = "reformulated+yannakakis" if route == "reformulated" else route
         if evaluator is not None:
-            stream = evaluator.iter_answers(database, limit=limit)
+            stream = evaluator.iter_answers(database, limit=limit, backend=args.backend)
         else:
-            stream = iter_with_plan(query, database, limit=limit)
+            stream = iter_with_plan(query, database, limit=limit, backend=args.backend)
         answers = sorted(stream, key=str)
 
     print(f"evaluation: {how}", file=out)
@@ -379,7 +379,7 @@ def _cmd_explain(args: argparse.Namespace, out: IO[str]) -> int:
                     f"query: {query}",
                     "route: reformulated",
                     f"reformulation: {witness}",
-                    evaluator.explain(database, execute=execute),
+                    evaluator.explain(database, execute=execute, backend=args.backend),
                 ]
                 if args.verify:
                     lines.extend(_verification_lines(evaluator))
@@ -392,6 +392,7 @@ def _cmd_explain(args: argparse.Namespace, out: IO[str]) -> int:
             engine=args.engine,
             execute=execute,
             verify=args.verify,
+            backend=args.backend,
         )
     except (AcyclicityRequired, NotSemanticallyAcyclic) as error:
         raise SystemExit(str(error))
@@ -472,6 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="stream only the first N answers (evaluate_iter)",
     )
+    evaluate_parser.add_argument(
+        "--backend",
+        choices=("tuple", "columnar"),
+        default=None,
+        help="execution backend (default: the REPRO_BACKEND environment "
+        "variable, else tuple)",
+    )
     evaluate_parser.set_defaults(handler=_cmd_evaluate)
 
     explain_parser = subparsers.add_parser(
@@ -496,6 +504,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the static plan verifier on the explained plan and append "
         "its diagnostics",
+    )
+    explain_parser.add_argument(
+        "--backend",
+        choices=("tuple", "columnar"),
+        default=None,
+        help="execution backend (default: the REPRO_BACKEND environment "
+        "variable, else tuple)",
     )
     explain_parser.set_defaults(handler=_cmd_explain)
 

@@ -15,6 +15,12 @@ assignment-dict Yannakakis is a test-only differential oracle under
 ``tests/helpers/yannakakis_dict.py`` and is no longer part of this
 package's API.
 
+Every operator additionally exposes a *batch* face
+(:meth:`~repro.evaluation.operators.Operator.iter_batches`) running over
+dictionary-encoded integer columns (:mod:`repro.evaluation.encoding`);
+``backend="columnar"`` (or ``REPRO_BACKEND=columnar``) routes any entry
+point through it, with the tuple backend kept as the differential oracle.
+
 Batches of queries over one database go through :func:`evaluate_batch`
 (:mod:`repro.evaluation.batch`), which shares the phase-1 atom scans and
 hash partitions across the whole batch via a :class:`ScanCache`; the same
@@ -23,6 +29,13 @@ cache can be injected into any single-query entry point through its
 """
 
 from .relation import Partition, Relation, ScanProvider, SchemaError
+from .encoding import (
+    BACKENDS,
+    EncodedRelation,
+    TermEncoder,
+    numpy_enabled,
+    resolve_backend,
+)
 from .operators import (
     CardinalityEstimate,
     CostModel,
@@ -88,6 +101,7 @@ from .semacyclic_eval import (
 
 __all__ = [
     "AcyclicityRequired",
+    "BACKENDS",
     "BatchEvaluator",
     "CardinalityEstimate",
     "CostModel",
@@ -95,6 +109,7 @@ __all__ = [
     "CoverGameResult",
     "CursorEnumerate",
     "Distinct",
+    "EncodedRelation",
     "ExecutionContext",
     "HashJoin",
     "JoinPlan",
@@ -113,6 +128,7 @@ __all__ = [
     "SemAcEvaluation",
     "SemiJoin",
     "Statistics",
+    "TermEncoder",
     "YannakakisEvaluator",
     "atom_signature",
     "boolean_acyclic",
@@ -140,11 +156,13 @@ __all__ = [
     "membership_via_chase_and_cover_game_tgds",
     "membership_via_cover_game_egds",
     "membership_via_cover_game_guarded",
+    "numpy_enabled",
     "plan_by_cardinality",
     "plan_greedy",
     "plan_greedy_heuristic",
     "plan_in_query_order",
     "query_covers_database",
     "render_plan",
+    "resolve_backend",
     "resolve_route",
 ]

@@ -49,6 +49,7 @@ from typing import (
 from ..datamodel import Atom, Constant, Instance, Predicate, Term, Variable
 from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
+from .encoding import TermEncoder
 from .join_plans import evaluate_with_plan, explain_plan, iter_with_plan, plan_greedy
 from .relation import Relation, Row, ScanProvider, compile_scan_pattern
 from .yannakakis import YannakakisEvaluator
@@ -113,6 +114,11 @@ class ScanCache:
 
     def __init__(self, database: Instance) -> None:
         self.database = database
+        #: The dictionary encoder of the columnar backend.  Owned here so
+        #: encodings — like scans and partitions — amortise across every
+        #: evaluation sharing the cache (``ExecutionContext`` picks it up
+        #: via the scan provider).
+        self.encoder = TermEncoder()
         # Cheap staleness guard: a cache is bound to one database *state*.
         # Identity catches a different Instance; the size snapshot catches
         # the common in-place mutation (adding/removing facts).  Mutations
@@ -264,17 +270,19 @@ class BatchEvaluator:
         route: Tuple[str, Optional[YannakakisEvaluator]],
         database: Instance,
         scans: Optional[ScanProvider],
+        backend: Optional[str] = None,
     ) -> Set[Tuple[Term, ...]]:
         kind, evaluator = route
         if evaluator is not None:  # "yannakakis" and "reformulated"
-            return evaluator.evaluate(database, scans=scans)
-        return evaluate_with_plan(query, database, scans=scans)
+            return evaluator.evaluate(database, scans=scans, backend=backend)
+        return evaluate_with_plan(query, database, scans=scans, backend=backend)
 
     def evaluate(
         self,
         database: Instance,
         *,
         scans: Optional[ScanProvider] = None,
+        backend: Optional[str] = None,
     ) -> List[Set[Tuple[Term, ...]]]:
         """Return ``[q(D) for q in queries]`` with shared phase-1 work.
 
@@ -289,7 +297,7 @@ class BatchEvaluator:
         if scans is None:
             scans = ScanCache(database)
         return [
-            self._evaluate_one(query, route, database, scans)
+            self._evaluate_one(query, route, database, scans, backend)
             for query, route in zip(self.queries, self._routes)
         ]
 
@@ -299,6 +307,7 @@ class BatchEvaluator:
         *,
         scans: Optional[ScanProvider] = None,
         limit: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> List[Iterator[Tuple[Term, ...]]]:
         """Per-query answer *generators* over one shared :class:`ScanCache`.
 
@@ -318,13 +327,17 @@ class BatchEvaluator:
         def stream_plan(query: ConjunctiveQuery) -> Iterator[Tuple[Term, ...]]:
             # Wrapped in a generator so even the *planning* (which scans
             # per-predicate cardinalities) waits for the first pull.
-            yield from iter_with_plan(query, database, scans=scans, limit=limit)
+            yield from iter_with_plan(
+                query, database, scans=scans, limit=limit, backend=backend
+            )
 
         iterators: List[Iterator[Tuple[Term, ...]]] = []
         for query, (kind, evaluator) in zip(self.queries, self._routes):
             if evaluator is not None:  # "yannakakis" and "reformulated"
                 iterators.append(
-                    evaluator.iter_answers(database, scans=scans, limit=limit)
+                    evaluator.iter_answers(
+                        database, scans=scans, limit=limit, backend=backend
+                    )
                 )
             else:
                 iterators.append(stream_plan(query))
@@ -336,6 +349,7 @@ class BatchEvaluator:
         *,
         scans: Optional[ScanProvider] = None,
         execute: bool = True,
+        backend: Optional[str] = None,
     ) -> List[str]:
         """Per-query ``EXPLAIN`` output over one shared :class:`ScanCache`.
 
@@ -354,16 +368,24 @@ class BatchEvaluator:
             if evaluator is not None:  # "yannakakis" and "reformulated"
                 if kind == "reformulated":
                     lines.append(f"reformulation: {evaluator.query}")
-                lines.append(evaluator.explain(database, scans=scans, execute=execute))
+                lines.append(
+                    evaluator.explain(
+                        database, scans=scans, execute=execute, backend=backend
+                    )
+                )
             else:
                 plan = plan_greedy(query, database, scans=scans)
                 lines.append(
-                    explain_plan(plan, database, scans=scans, execute=execute)
+                    explain_plan(
+                        plan, database, scans=scans, execute=execute, backend=backend
+                    )
                 )
             reports.append("\n".join(lines))
         return reports
 
-    def evaluate_sequential(self, database: Instance) -> List[Set[Tuple[Term, ...]]]:
+    def evaluate_sequential(
+        self, database: Instance, *, backend: Optional[str] = None
+    ) -> List[Set[Tuple[Term, ...]]]:
         """The per-query baseline: identical routing, no shared scans.
 
         Every query re-runs its own phase-1 scans via
@@ -372,6 +394,6 @@ class BatchEvaluator:
         oracle for :meth:`evaluate`.
         """
         return [
-            self._evaluate_one(query, route, database, None)
+            self._evaluate_one(query, route, database, None, backend=backend)
             for query, route in zip(self.queries, self._routes)
         ]

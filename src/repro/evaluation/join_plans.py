@@ -343,6 +343,7 @@ def execute_plan(
     database: Instance,
     *,
     scans: Optional[ScanProvider] = None,
+    backend: Optional[str] = None,
 ) -> PlanExecution:
     """Execute a join plan on its materialising face over the IR.
 
@@ -353,19 +354,37 @@ def execute_plan(
     up empty.  ``scans`` injects a shared scan provider for the base-atom
     scans (see :meth:`Relation.from_atom`).
     """
-    context = ExecutionContext(database, scans)
+    context = ExecutionContext(database, scans, backend=backend)
     ops = compile_plan(plan)
     if ops:
         _maybe_verify(ops[-1], where="join_plans.execute_plan")
-    relation = Relation.unit()
     intermediate_sizes: List[int] = []
+    answers: Set[Tuple[Term, ...]] = set()
+    if context.backend == "columnar":
+        # Same step-by-step shape, on the batch face: each chain operator
+        # materialises encoded and decoding happens once, at the head.
+        encoded = None
+        for op in ops:
+            encoded = op.materialize_encoded(context)
+            intermediate_sizes.append(len(encoded))
+            if encoded.is_empty():
+                break
+        if (encoded is None or not encoded.is_empty()) and (
+            plan.steps or not plan.query.body
+        ):
+            answers = (
+                encoded.answer_tuples(plan.query.head)
+                if encoded is not None
+                else Relation.unit().answer_tuples(plan.query.head)
+            )
+        return PlanExecution(answers=answers, intermediate_sizes=intermediate_sizes)
+    relation = Relation.unit()
     for op in ops:
         relation = op.materialize(context)
         intermediate_sizes.append(len(relation))
         if relation.is_empty():
             break
 
-    answers: Set[Tuple[Term, ...]] = set()
     if relation and (plan.steps or not plan.query.body):
         answers = relation.answer_tuples(plan.query.head)
     return PlanExecution(answers=answers, intermediate_sizes=intermediate_sizes)
@@ -377,6 +396,7 @@ def iter_plan_answers(
     *,
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Iterator[Tuple[Term, ...]]:
     """Stream a plan's answers through the fully pipelined operator chain.
 
@@ -404,8 +424,18 @@ def iter_plan_answers(
     _maybe_verify(top, streaming=True, where="join_plans.iter_plan_answers")
     head_positions = tuple(head_schema.index(v) for v in plan.query.head)
 
-    context = ExecutionContext(database, scans)
+    context = ExecutionContext(database, scans, backend=backend)
     produced = 0
+    if context.backend == "columnar":
+        # The chain pipelines batch-at-a-time; codes are decoded only here.
+        terms = context.encoder.terms
+        for batch in top.iter_batches(context):
+            for code_row in batch.rows:
+                yield tuple(terms[code_row[p]] for p in head_positions)
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+        return
     for row in top.iter_rows(context):
         yield tuple(row[p] for p in head_positions)
         produced += 1
@@ -420,6 +450,7 @@ def explain_plan(
     scans: Optional[ScanProvider] = None,
     statistics: Optional[Statistics] = None,
     execute: bool = True,
+    backend: Optional[str] = None,
 ) -> str:
     """Pretty-print a compiled plan with estimated vs. observed rows.
 
@@ -442,7 +473,11 @@ def explain_plan(
     )
     model.annotate(top)
     if execute:
-        top.materialize(ExecutionContext(database, scans))
+        context = ExecutionContext(database, scans, backend=backend)
+        if context.backend == "columnar":
+            top.materialize_encoded(context)
+        else:
+            top.materialize(context)
     return render_plan(top)
 
 
@@ -469,11 +504,12 @@ def evaluate_with_plan(
     planner=plan_greedy,
     *,
     scans: Optional[ScanProvider] = None,
+    backend: Optional[str] = None,
 ) -> Set[Tuple[Term, ...]]:
     """Plan and execute ``query`` over ``database``; return the answer set."""
     scans = _default_scans(database, scans)
     plan = planner(query, database, scans=scans)
-    return execute_plan(plan, database, scans=scans).answers
+    return execute_plan(plan, database, scans=scans, backend=backend).answers
 
 
 def iter_with_plan(
@@ -483,11 +519,12 @@ def iter_with_plan(
     *,
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Iterator[Tuple[Term, ...]]:
     """Plan ``query`` and stream its answers (see :func:`iter_plan_answers`)."""
     scans = _default_scans(database, scans)
     plan = planner(query, database, scans=scans)
-    return iter_plan_answers(plan, database, scans=scans, limit=limit)
+    return iter_plan_answers(plan, database, scans=scans, limit=limit, backend=backend)
 
 
 def boolean_with_plan(
@@ -496,12 +533,15 @@ def boolean_with_plan(
     planner=plan_greedy,
     *,
     scans: Optional[ScanProvider] = None,
+    backend: Optional[str] = None,
 ) -> bool:
     """Boolean evaluation through a join plan (first-answer short-circuit).
 
     The pipelined chain stops at the first answer, so only the base scans —
     never a join prefix — are materialised in full.
     """
-    for _ in iter_with_plan(query, database, planner=planner, scans=scans, limit=1):
+    for _ in iter_with_plan(
+        query, database, planner=planner, scans=scans, limit=1, backend=backend
+    ):
         return True
     return False

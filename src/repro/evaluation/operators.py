@@ -56,6 +56,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..datamodel import Atom, Instance, Predicate, Term, Variable
 from ..hypergraph import JoinTree
+from .encoding import EncodedRelation, IntRow, TermEncoder, resolve_backend
 from .relation import (
     Partition,
     Relation,
@@ -64,6 +65,11 @@ from .relation import (
     SchemaError,
     compile_scan_pattern,
 )
+
+#: Row budget of one batch on the batch face (:meth:`Operator.iter_batches`).
+#: Large enough to amortise per-batch dispatch, small enough that ``limit=``
+#: consumers stop a pipelined chain after O(batch) extra work.
+BATCH_ROWS = 1024
 
 
 def first_occurrence_schema(variables: Sequence[Variable]) -> Tuple[Variable, ...]:
@@ -84,15 +90,34 @@ class ExecutionContext:
     ``scans`` is threaded into every :class:`Scan` exactly like the
     ``scans=`` parameter of the evaluator entry points (the canonical
     provider is :class:`repro.evaluation.batch.ScanCache`).
+
+    ``backend`` selects the execution face the engines route through
+    (``"tuple"`` or ``"columnar"``, resolved per
+    :func:`repro.evaluation.encoding.resolve_backend`), and ``encoder`` is
+    the dictionary encoder the batch face encodes under.  When the scan
+    provider owns an encoder (``ScanCache.encoder``) it is reused, so
+    encodings — like scans and partitions — amortise across every
+    evaluation sharing the cache.
     """
 
-    __slots__ = ("database", "scans")
+    __slots__ = ("database", "scans", "backend", "encoder")
 
     def __init__(
-        self, database: Instance, scans: Optional[ScanProvider] = None
+        self,
+        database: Instance,
+        scans: Optional[ScanProvider] = None,
+        *,
+        backend: Optional[str] = None,
+        encoder: Optional[TermEncoder] = None,
     ) -> None:
         self.database = database
         self.scans = scans
+        self.backend = resolve_backend(backend)
+        if encoder is None:
+            encoder = getattr(scans, "encoder", None)
+            if encoder is None:
+                encoder = TermEncoder()
+        self.encoder = encoder
 
 
 # ----------------------------------------------------------------------
@@ -114,7 +139,9 @@ class Operator:
         "estimated_rows",
         "observed_rows",
         "observed_probes",
+        "executed_face",
         "_result",
+        "_encoded",
     )
 
     def __init__(
@@ -125,7 +152,11 @@ class Operator:
         self.estimated_rows: Optional[float] = None
         self.observed_rows: Optional[int] = None
         self.observed_probes: Optional[int] = None
+        #: ``"batch"`` once the columnar face executed this node (shown by
+        #: :func:`render_plan`); ``None`` on the default tuple face.
+        self.executed_face: Optional[str] = None
         self._result: Optional[Relation] = None
+        self._encoded: Optional[EncodedRelation] = None
 
     # -- execution ------------------------------------------------------
     def materialize(self, context: ExecutionContext) -> Relation:
@@ -147,6 +178,38 @@ class Operator:
         pulled).
         """
         yield from self.materialize(context).rows
+
+    def materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        """The full output as a dictionary-encoded column store (cached).
+
+        The batch-face analogue of :meth:`materialize`: computed once per
+        node, so DAG-shared sub-operators pay once.  The base implementation
+        encodes the tuple materialisation — the encode boundary of
+        :class:`Scan` and of any operator without a native columnar kernel;
+        the vectorized operators override :meth:`_materialize_encoded`
+        instead and never touch term tuples.
+        """
+        if self._encoded is None:
+            self._encoded = self._materialize_encoded(context)
+            self.observed_rows = len(self._encoded)
+            self.executed_face = "batch"
+        return self._encoded
+
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        return self.materialize(context).encoded(context.encoder)
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        """Stream the output as encoded column batches (the third face).
+
+        Batches are small :class:`EncodedRelation` slices of at most
+        ``BATCH_ROWS`` rows.  Pipelining operators override this to stream
+        their left/only input batch-at-a-time; the base implementation
+        chunks the encoded materialisation.  Decoding happens only at the
+        consumer (the engines' answer adapters).
+        """
+        encoded = self.materialize_encoded(context)
+        if len(encoded):
+            yield from encoded.chunks(BATCH_ROWS)
 
     def _count_probe(self) -> None:
         self.observed_probes = (self.observed_probes or 0) + 1
@@ -243,6 +306,24 @@ class Select(Operator):
                 self.observed_rows += 1
                 yield row
 
+    def _encoded_checks(self, context: ExecutionContext) -> Tuple[Tuple[int, int], ...]:
+        encode = context.encoder.encode
+        return tuple((position, encode(term)) for position, term in self._checks)
+
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        child = self.children[0].materialize_encoded(context)
+        return child.select_codes(self._encoded_checks(context))
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        self.observed_rows = 0
+        self.executed_face = "batch"
+        checks = self._encoded_checks(context)
+        for batch in self.children[0].iter_batches(context):
+            out = batch.select_codes(checks)
+            if len(out):
+                self.observed_rows += len(out)
+                yield out
+
     def label(self) -> str:
         conditions = ", ".join(
             f"{variable}={term}" for variable, term in sorted(self.binding.items(), key=str)
@@ -276,6 +357,19 @@ class Project(Operator):
                 self.observed_rows += 1
                 yield projected
 
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        return self.children[0].materialize_encoded(context).project(self.schema)
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        self.observed_rows = 0
+        self.executed_face = "batch"
+        seen: Set[object] = set()  # int keys, carried across batches
+        for batch in self.children[0].iter_batches(context):
+            out = batch.project(self.schema, seen)
+            if len(out):
+                self.observed_rows += len(out)
+                yield out
+
     def label(self) -> str:
         return f"Project[{', '.join(str(v) for v in self.schema)}]"
 
@@ -301,6 +395,19 @@ class Distinct(Operator):
                 seen.add(row)
                 self.observed_rows += 1
                 yield row
+
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        return self.children[0].materialize_encoded(context).distinct()
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        self.observed_rows = 0
+        self.executed_face = "batch"
+        seen: Set[object] = set()
+        for batch in self.children[0].iter_batches(context):
+            out = batch.distinct(seen)
+            if len(out):
+                self.observed_rows += len(out)
+                yield out
 
     def label(self) -> str:
         return "Distinct"
@@ -347,6 +454,34 @@ class SemiJoin(Operator):
             if tuple(row[p] for p in left_key) in partition:
                 self.observed_rows += 1
                 yield row
+
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        left = self.children[0].materialize_encoded(context)
+        if left.is_empty():
+            return EncodedRelation.empty(self.schema, context.encoder)
+        return left.semijoin(self.children[1].materialize_encoded(context))
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        self.observed_rows = 0
+        self.executed_face = "batch"
+        right = self.children[1].materialize_encoded(context)
+        if right.is_empty():
+            return
+        if not self._shared:
+            for batch in self.children[0].iter_batches(context):
+                self.observed_rows += len(batch)
+                yield batch
+            return
+        # One shared int index over the right side; each left batch is a
+        # bulk bucket intersection (membership only — never probe-counted,
+        # matching the tuple semi-join accounting).
+        index = right.key_index(tuple(right.position(v) for v in self._shared))
+        left_key = self._left_key
+        for batch in self.children[0].iter_batches(context):
+            out = batch.semijoin_index(left_key, index)
+            if len(out):
+                self.observed_rows += len(out)
+                yield out
 
     def label(self) -> str:
         return f"SemiJoin[{', '.join(str(v) for v in self._shared)}]"
@@ -407,6 +542,34 @@ class HashJoin(Operator):
             for match in partition.get(tuple(row[p] for p in left_key)):
                 self.observed_rows += 1
                 yield row + tuple(match[i] for i in residual)
+
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        left = self.children[0].materialize_encoded(context)
+        if left.is_empty():
+            return EncodedRelation.empty(self.schema, context.encoder)
+        right = self.children[1].materialize_encoded(context)
+        before = Partition.total_probes
+        result = left.join(right)
+        self.observed_probes = (self.observed_probes or 0) + (
+            Partition.total_probes - before
+        )
+        return result
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        self.observed_rows = 0
+        self.executed_face = "batch"
+        right = self.children[1].materialize_encoded(context)
+        if right.is_empty():
+            return
+        for batch in self.children[0].iter_batches(context):
+            if self._shared:
+                # One counted int-index probe per left row, mirroring the
+                # per-row accounting of the streaming tuple face.
+                self.observed_probes = (self.observed_probes or 0) + len(batch)
+            out = batch.join(right)
+            if len(out):
+                self.observed_rows += len(out)
+                yield out
 
     def label(self) -> str:
         joined = ", ".join(str(v) for v in self._shared)
@@ -578,6 +741,11 @@ class CursorEnumerate(Operator):
             )
         return plans
 
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        return EncodedRelation.from_rows(
+            self.schema, list(self.iter_rows_encoded(context)), context.encoder
+        )
+
     def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
         self.observed_rows = 0
         relations: Dict[int, Relation] = {}
@@ -586,7 +754,49 @@ class CursorEnumerate(Operator):
             if relation.is_empty():
                 return
             relations[identifier] = relation
+        for row in self._enumerate(relations):
+            self.observed_rows += 1
+            yield row
 
+    def iter_rows_encoded(self, context: ExecutionContext) -> Iterator[IntRow]:
+        """Stream the carry tuples as dictionary codes (the batch face).
+
+        The node inputs are materialised *encoded* and the cursor machinery
+        below runs on them verbatim — an :class:`EncodedRelation` serves the
+        same ``schema``/``rows``/``partition`` surface as a
+        :class:`Relation`, with int tuples for rows and the probe counters
+        shared — so decoding is deferred entirely to the consumer.
+        """
+        self.observed_rows = 0
+        self.executed_face = "batch"
+        relations: Dict[int, EncodedRelation] = {}
+        for identifier in self._bottom_up:
+            relation = self.node_ops[identifier].materialize_encoded(context)
+            if relation.is_empty():
+                return
+            relations[identifier] = relation
+        for row in self._enumerate(relations):
+            self.observed_rows += 1
+            yield row
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        buffer: List[IntRow] = []
+        for row in self.iter_rows_encoded(context):
+            buffer.append(row)
+            if len(buffer) >= BATCH_ROWS:
+                yield EncodedRelation.from_rows(self.schema, buffer, context.encoder)
+                buffer = []
+        if buffer:
+            yield EncodedRelation.from_rows(self.schema, buffer, context.encoder)
+
+    def _enumerate(self, relations: Dict[int, Relation]) -> Iterator[Row]:
+        """The cursor enumeration itself, over materialised node relations.
+
+        Generic over the row representation: ``relations`` maps node ids to
+        tuple :class:`Relation` or :class:`EncodedRelation` objects, and the
+        cursors only ever touch ``rows``, cached ``partition`` probes and
+        positional indexing — identical on both.
+        """
         plans = self._node_plans(relations)
         memos: Dict[Tuple[int, Row], _MemoCursor] = {}
 
@@ -637,9 +847,7 @@ class CursorEnumerate(Operator):
                 ):
                     yield from expand(row, 0)
 
-        for row in cursor(self.tree.root, ()):
-            self.observed_rows += 1
-            yield row
+        yield from cursor(self.tree.root, ())
 
     def label(self) -> str:
         return f"CursorEnumerate[{', '.join(str(v) for v in self.schema)}]"
@@ -898,10 +1106,11 @@ def render_plan(root: Operator, indent: str = "  ") -> str:
             if operator.observed_probes is not None
             else ""
         )
+        face = ", face=batch" if operator.executed_face == "batch" else ""
         lines.append(
             f"{prefix}{operator.label()}  "
             f"(est={_format_count(operator.estimated_rows)}, "
-            f"obs={_format_count(operator.observed_rows)}{probes})"
+            f"obs={_format_count(operator.observed_rows)}{probes}{face})"
         )
         for child in operator.children:
             visit(child, depth + 1)

@@ -385,6 +385,25 @@ class Relation:
         """
         return self.partition(variables).histogram()
 
+    def encoded(self, encoder: "TermEncoder") -> "EncodedRelation":  # noqa: F821
+        """This relation dictionary-encoded under ``encoder``, built once.
+
+        The encoded column store is cached in ``_stats`` (keyed by encoder
+        identity, single slot), so — exactly like partitions and distinct
+        counts — it is shared by reference across :meth:`with_schema` views
+        and rebuilt only on fresh row storage or a different encoder.  The
+        returned :class:`~repro.evaluation.encoding.EncodedRelation` is a
+        cheap schema view over the cached store.
+        """
+        from .encoding import EncodedRelation  # local: avoid an import cycle
+
+        cached = self._stats.get("encoded")
+        if cached is None or cached[0] is not encoder:  # type: ignore[index]
+            store = EncodedRelation.build_store(self.rows, len(self.schema), encoder)
+            cached = (encoder, store)
+            self._stats["encoded"] = cached
+        return EncodedRelation(self.schema, cached[1], encoder)  # type: ignore[index]
+
     def with_schema(self, schema: Sequence[Variable]) -> "Relation":
         """An ``O(1)`` view of this relation under a renamed schema.
 

@@ -107,10 +107,15 @@ class YannakakisEvaluator:
     """
 
     def __init__(
-        self, query: ConjunctiveQuery, scans: Optional[ScanProvider] = None
+        self,
+        query: ConjunctiveQuery,
+        scans: Optional[ScanProvider] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> None:
         self.query = query
         self._scans = scans
+        self._backend = backend
         try:
             self.join_tree: JoinTree = build_join_tree(query.body, query_connectors)
         except JoinTreeError as error:
@@ -225,9 +230,16 @@ class YannakakisEvaluator:
         return plan
 
     def _context(
-        self, database: Instance, scans: Optional[ScanProvider]
+        self,
+        database: Instance,
+        scans: Optional[ScanProvider],
+        backend: Optional[str] = None,
     ) -> ExecutionContext:
-        return ExecutionContext(database, scans if scans is not None else self._scans)
+        return ExecutionContext(
+            database,
+            scans if scans is not None else self._scans,
+            backend=backend if backend is not None else self._backend,
+        )
 
     # ------------------------------------------------------------------
     # Evaluation entry points
@@ -239,6 +251,7 @@ class YannakakisEvaluator:
         scans: Optional[ScanProvider] = None,
         limit: Optional[int] = None,
         reduce: bool = True,
+        backend: Optional[str] = None,
     ) -> Iterator[Tuple[Term, ...]]:
         """Stream the distinct answer tuples of ``q(D)`` one at a time.
 
@@ -268,15 +281,30 @@ class YannakakisEvaluator:
         plan = self.compile_stream_plan(reduce=reduce)
         root_carry = self._carry[self.join_tree.root]
         head_positions = tuple(root_carry.index(v) for v in self.query.head)
+        context = self._context(database, scans, backend)
         produced = 0
-        for carry_row in plan.iter_rows(self._context(database, scans)):
+        if context.backend == "columnar":
+            # Enumerate dictionary codes; decode each carry row only as it
+            # crosses the output boundary.
+            terms = context.encoder.terms
+            for code_row in plan.iter_rows_encoded(context):
+                yield tuple(terms[code_row[p]] for p in head_positions)
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+            return
+        for carry_row in plan.iter_rows(context):
             yield tuple(carry_row[p] for p in head_positions)
             produced += 1
             if limit is not None and produced >= limit:
                 return
 
     def boolean(
-        self, database: Instance, *, scans: Optional[ScanProvider] = None
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+        backend: Optional[str] = None,
     ) -> bool:
         """Return ``True`` iff the (Boolean reading of the) query holds in ``database``.
 
@@ -290,12 +318,21 @@ class YannakakisEvaluator:
         order as a semi-join pass.
         """
         plan = self.compile_stream_plan(reduce=False, boolean=True)
-        for _ in plan.iter_rows(self._context(database, scans)):
+        context = self._context(database, scans, backend)
+        if context.backend == "columnar":
+            for _ in plan.iter_rows_encoded(context):
+                return True
+            return False
+        for _ in plan.iter_rows(context):
             return True
         return False
 
     def answer_relation(
-        self, database: Instance, *, scans: Optional[ScanProvider] = None
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+        backend: Optional[str] = None,
     ) -> Relation:
         """Return ``q(D)`` as a :class:`Relation` over the distinct free variables.
 
@@ -304,13 +341,26 @@ class YannakakisEvaluator:
         variables).
         """
         plan = self.compile_answer_plan()
-        return plan.materialize(self._context(database, scans))
+        context = self._context(database, scans, backend)
+        if context.backend == "columnar":
+            return plan.materialize_encoded(context).to_relation()
+        return plan.materialize(context)
 
     def evaluate(
-        self, database: Instance, *, scans: Optional[ScanProvider] = None
+        self,
+        database: Instance,
+        *,
+        scans: Optional[ScanProvider] = None,
+        backend: Optional[str] = None,
     ) -> Set[Tuple[Term, ...]]:
         """Return the full answer set ``q(D)``."""
-        return self.answer_relation(database, scans=scans).answer_tuples(self.query.head)
+        plan = self.compile_answer_plan()
+        context = self._context(database, scans, backend)
+        if context.backend == "columnar":
+            # Decode straight into the answer set: the whole plan ran on
+            # int columns and only the head projection touches terms.
+            return plan.materialize_encoded(context).answer_tuples(self.query.head)
+        return plan.materialize(context).answer_tuples(self.query.head)
 
     # ------------------------------------------------------------------
     def explain(
@@ -319,6 +369,7 @@ class YannakakisEvaluator:
         *,
         scans: Optional[ScanProvider] = None,
         execute: bool = True,
+        backend: Optional[str] = None,
     ) -> str:
         """Pretty-print the materialising plan with estimated vs. observed rows.
 
@@ -328,10 +379,13 @@ class YannakakisEvaluator:
         reports its observed cardinality.
         """
         plan = self.compile_answer_plan()
-        context = self._context(database, scans)
+        context = self._context(database, scans, backend)
         CostModel(Statistics(database, context.scans)).annotate(plan)
         if execute:
-            plan.materialize(context)
+            if context.backend == "columnar":
+                plan.materialize_encoded(context)
+            else:
+                plan.materialize(context)
         return render_plan(plan)
 
 
@@ -340,9 +394,10 @@ def evaluate_acyclic(
     database: Instance,
     *,
     scans: Optional[ScanProvider] = None,
+    backend: Optional[str] = None,
 ) -> Set[Tuple[Term, ...]]:
     """One-shot evaluation of an acyclic CQ with Yannakakis' algorithm."""
-    return YannakakisEvaluator(query).evaluate(database, scans=scans)
+    return YannakakisEvaluator(query).evaluate(database, scans=scans, backend=backend)
 
 
 def boolean_acyclic(
@@ -350,6 +405,7 @@ def boolean_acyclic(
     database: Instance,
     *,
     scans: Optional[ScanProvider] = None,
+    backend: Optional[str] = None,
 ) -> bool:
     """One-shot Boolean evaluation of an acyclic CQ."""
-    return YannakakisEvaluator(query).boolean(database, scans=scans)
+    return YannakakisEvaluator(query).boolean(database, scans=scans, backend=backend)

@@ -1,0 +1,454 @@
+"""Differential tests for the columnar backend (ISSUE 7).
+
+The tuple engine is the differential oracle: for every route
+(``yannakakis``, ``reformulated``, ``plan``) and every entry point
+(``evaluate``, ``iter_answers``/``iter_with_plan`` with and without
+``limit=``, ``BatchEvaluator``), the columnar backend must produce exactly
+the same answer set — including the corners where representations
+historically diverge: injected constants, repeated head variables, empty
+predicates, and terms with colliding string forms.
+
+Beyond route equality the suite pins down:
+
+* the encode/decode round trip of :class:`TermEncoder` and
+  :class:`EncodedRelation` (property-based, ambiguous terms included);
+* probe accounting on the batch face — semi-join membership is uncounted,
+  joins count one probe per left row, and the pipelined plan route does a
+  bounded amount of work per pulled batch (the per-batch analogue of the
+  per-tuple bounds in ``tests/test_operators.py``);
+* the cache/aliasing discipline: encoded stores are cached per encoder
+  identity, shared across ``with_schema`` views, rebuilt on an encoder
+  change, and never aliased into operator outputs;
+* the optional numpy storage path (``REPRO_NUMPY=1``) agrees with both the
+  pure-python columnar path and the tuple oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import Atom, Constant, Database, Null, Predicate, Variable
+from repro.evaluation import (
+    AcyclicityRequired,
+    BatchEvaluator,
+    Relation,
+    ScanCache,
+    TermEncoder,
+    YannakakisEvaluator,
+    evaluate_iter,
+    evaluate_with_plan,
+    iter_with_plan,
+    plan_greedy,
+    resolve_backend,
+)
+from repro.evaluation.encoding import BACKEND_ENV, EncodedRelation, NUMPY_ENV
+from repro.evaluation.operators import BATCH_ROWS
+from repro.evaluation.relation import Partition
+from repro.queries.cq import ConjunctiveQuery
+from repro.workloads.generators import yannakakis_scaling_workload
+from repro.workloads.paper_examples import example1_query, example1_tgd
+from repro.workloads import music_store_database
+
+from helpers.workloads import (
+    randomized_acyclic_workload,
+    randomized_cyclic_workload,
+)
+
+
+def _probes(run):
+    before = Partition.total_probes
+    result = run()
+    return result, Partition.total_probes - before
+
+
+# ----------------------------------------------------------------------
+# Route differentials: tuple backend is the oracle
+# ----------------------------------------------------------------------
+def _assert_backends_agree_acyclic(query, database):
+    try:
+        evaluator = YannakakisEvaluator(query)
+    except AcyclicityRequired:
+        # Constant injection can, in rare corners, make the variable
+        # hypergraph cyclic; the acyclic route only covers acyclic CQs.
+        return
+    expected = evaluator.evaluate(database, backend="tuple")
+    assert evaluator.evaluate(database, backend="columnar") == expected
+
+    streamed = list(evaluator.iter_answers(database, backend="columnar"))
+    assert len(set(streamed)) == len(streamed)  # no duplicates yielded
+    assert set(streamed) == expected
+
+    limited = list(
+        evaluator.iter_answers(database, limit=3, backend="columnar")
+    )
+    assert len(limited) == min(3, len(expected))
+    assert set(limited) <= expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_yannakakis_route_backends_agree(seed):
+    query, database = randomized_acyclic_workload(seed)
+    _assert_backends_agree_acyclic(query, database)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_yannakakis_route_backends_agree_on_seeded_grid(seed):
+    """A fixed, deterministic slice of the same space (fast CI signal)."""
+    query, database = randomized_acyclic_workload(seed * 7717)
+    _assert_backends_agree_acyclic(query, database)
+
+
+def _assert_backends_agree_plan(query, database):
+    expected = evaluate_with_plan(query, database, backend="tuple")
+    assert evaluate_with_plan(query, database, backend="columnar") == expected
+
+    streamed = list(iter_with_plan(query, database, backend="columnar"))
+    assert len(set(streamed)) == len(streamed)
+    assert set(streamed) == expected
+
+    limited = list(
+        iter_with_plan(query, database, limit=3, backend="columnar")
+    )
+    assert len(limited) == min(3, len(expected))
+    assert set(limited) <= expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_plan_route_backends_agree(seed):
+    query, database = randomized_cyclic_workload(seed)
+    _assert_backends_agree_plan(query, database)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_plan_route_backends_agree_on_seeded_grid(seed):
+    query, database = randomized_cyclic_workload(seed * 6151)
+    _assert_backends_agree_plan(query, database)
+
+
+def test_reformulated_route_backends_agree():
+    query = example1_query()
+    tgd = example1_tgd()
+    database = music_store_database(seed=3, customers=12, records=15, styles=4)
+
+    batch = BatchEvaluator([query], tgds=[tgd])
+    assert batch.routes() == ["reformulated"]
+    [expected] = batch.evaluate(database, backend="tuple")
+    [columnar] = batch.evaluate(database, backend="columnar")
+    assert columnar == expected
+
+    [stream] = batch.evaluate_iter(database, backend="columnar")
+    streamed = list(stream)
+    assert len(set(streamed)) == len(streamed)
+    assert set(streamed) == expected
+
+    streamed_limited = list(
+        evaluate_iter(query, database, tgds=[tgd], limit=2, backend="columnar")
+    )
+    assert len(streamed_limited) == min(2, len(expected))
+    assert set(streamed_limited) <= expected
+
+
+# ----------------------------------------------------------------------
+# Explicit corners
+# ----------------------------------------------------------------------
+E = Predicate("E", 2)
+F = Predicate("F", 2)
+
+
+def _chain_query(head):
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return ConjunctiveQuery(
+        head, [Atom(E, (x, y)), Atom(F, (y, z))], name="chain"
+    )
+
+
+def test_empty_predicate_agrees_across_backends():
+    database = Database([Atom(E, (Constant("a"), Constant("b")))])
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    query = _chain_query((x, z))
+    evaluator = YannakakisEvaluator(query)
+    assert evaluator.evaluate(database, backend="columnar") == set()
+    assert list(evaluator.iter_answers(database, backend="columnar")) == []
+    assert evaluator.evaluate(database, backend="tuple") == set()
+
+
+def test_boolean_query_agrees_across_backends():
+    database = Database(
+        [
+            Atom(E, (Constant("a"), Constant("b"))),
+            Atom(F, (Constant("b"), Constant("c"))),
+        ]
+    )
+    query = _chain_query(())
+    evaluator = YannakakisEvaluator(query)
+    assert evaluator.evaluate(database, backend="columnar") == {()}
+    assert evaluator.boolean(database, backend="columnar") is True
+    empty = Database([Atom(E, (Constant("a"), Constant("b")))])
+    assert YannakakisEvaluator(query).evaluate(empty, backend="columnar") == set()
+
+
+def test_repeated_head_variables_and_constants_agree():
+    database = Database(
+        [
+            Atom(E, (Constant("a"), Constant("b"))),
+            Atom(E, (Constant("c"), Constant("b"))),
+            Atom(F, (Constant("b"), Constant("d"))),
+        ]
+    )
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    query = ConjunctiveQuery(
+        (x, x, z), [Atom(E, (x, y)), Atom(F, (y, z))], name="rep"
+    )
+    evaluator = YannakakisEvaluator(query)
+    expected = evaluator.evaluate(database, backend="tuple")
+    assert expected == {
+        (Constant("a"), Constant("a"), Constant("d")),
+        (Constant("c"), Constant("c"), Constant("d")),
+    }
+    assert evaluator.evaluate(database, backend="columnar") == expected
+
+    # A constant selection in the body, on top of the repeated head.
+    selected = ConjunctiveQuery(
+        (x, x), [Atom(E, (x, y)), Atom(F, (y, Constant("d")))], name="sel"
+    )
+    sel_eval = YannakakisEvaluator(selected)
+    assert sel_eval.evaluate(database, backend="columnar") == sel_eval.evaluate(
+        database, backend="tuple"
+    )
+
+
+def test_string_colliding_terms_stay_distinct_under_encoding():
+    # str(Constant(1)) == str(Constant("1")) == str(Null("1")) == "1"; the
+    # encoder must key on the terms themselves, never their string forms.
+    database = Database(
+        [
+            Atom(E, (Constant(1), Constant("p"))),
+            Atom(E, (Constant("1"), Constant("q"))),
+        ]
+    )
+    x, y = Variable("x"), Variable("y")
+    query = ConjunctiveQuery((x,), [Atom(E, (x, y))], name="collide")
+    evaluator = YannakakisEvaluator(query)
+    expected = evaluator.evaluate(database, backend="tuple")
+    assert len(expected) == 2
+    assert evaluator.evaluate(database, backend="columnar") == expected
+
+
+# ----------------------------------------------------------------------
+# Encode/decode round trip (property-based)
+# ----------------------------------------------------------------------
+_terms = st.one_of(
+    st.integers(min_value=-5, max_value=5).map(Constant),
+    st.sampled_from(["a", "b", "1", "-1"]).map(Constant),
+    st.sampled_from(["a", "n", "1"]).map(Null),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(_terms, _terms, _terms), min_size=0, max_size=25
+    )
+)
+def test_encode_decode_round_trip(rows):
+    encoder = TermEncoder()
+    for row in rows:
+        assert encoder.decode_row(encoder.encode_row(row)) == row
+
+    schema = (Variable("u"), Variable("v"), Variable("w"))
+    relation = Relation(schema, rows)
+    encoded = relation.encoded(encoder)
+    assert len(encoded) == len(rows)
+    # Row order survives the column store round trip.
+    assert list(encoded.decoded_rows()) == relation.rows
+    assert encoded.to_relation().rows == relation.rows
+    # answer_tuples handles projection with repetition at the decode
+    # boundary (the repeated-head case).
+    u, w = Variable("u"), Variable("w")
+    assert encoded.answer_tuples((u, u, w)) == {
+        (row[0], row[0], row[2]) for row in rows
+    }
+
+
+def test_encoder_is_a_dense_bijection():
+    encoder = TermEncoder()
+    terms = [Constant("a"), Constant(1), Constant("1"), Null("a")]
+    codes = [encoder.encode(term) for term in terms]
+    assert codes == [0, 1, 2, 3]  # dense, first-come
+    assert [encoder.encode(term) for term in terms] == codes  # stable
+    assert [encoder.decode(code) for code in codes] == terms
+    assert len(encoder) == 4
+
+
+# ----------------------------------------------------------------------
+# Probe accounting on the batch face
+# ----------------------------------------------------------------------
+def _encoded_pair():
+    encoder = TermEncoder()
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    left = Relation(
+        (x, y),
+        [(Constant(i), Constant(i % 3)) for i in range(30)],
+    ).encoded(encoder)
+    right = Relation(
+        (y, z),
+        [(Constant(i % 3), Constant(-i)) for i in range(12)],
+    ).encoded(encoder)
+    return left, right
+
+
+def test_semijoin_membership_is_uncounted():
+    left, right = _encoded_pair()
+    result, probes = _probes(lambda: left.semijoin(right))
+    assert probes == 0
+    assert len(result) == 30  # every y ∈ {0,1,2} matches
+
+
+def test_join_counts_one_probe_per_left_row():
+    left, right = _encoded_pair()
+    result, probes = _probes(lambda: left.join(right))
+    assert probes == len(left)
+    assert len(result) == 30 * 4  # each of the 3 keys has 4 right rows
+
+
+def test_cross_product_counts_no_probes():
+    encoder = TermEncoder()
+    x, z = Variable("x"), Variable("z")
+    left = Relation((x,), [(Constant(i),) for i in range(5)]).encoded(encoder)
+    right = Relation((z,), [(Constant(-i),) for i in range(4)]).encoded(encoder)
+    result, probes = _probes(lambda: left.join(right))
+    assert probes == 0
+    assert len(result) == 20
+
+
+def test_columnar_iter_with_plan_does_bounded_work_per_batch():
+    """The per-batch analogue of the per-tuple pipelining bounds in
+    tests/test_operators.py: a ``limit=`` consumer of the columnar plan
+    route pulls O(chain · BATCH_ROWS) probes, not the full pipeline."""
+    # Large enough that every base scan spans several BATCH_ROWS batches —
+    # below that the single-batch pipeline legitimately does all its work
+    # for the first pull.
+    query, database = yannakakis_scaling_workload(12000, seed=2)
+    plan = plan_greedy(query, database)
+    _, probes_limited = _probes(
+        lambda: list(iter_with_plan(query, database, limit=3, backend="columnar"))
+    )
+    _, probes_full = _probes(
+        lambda: list(iter_with_plan(query, database, backend="columnar"))
+    )
+    # One pulled batch per chain step, with slack for join fan-out growing
+    # an intermediate batch past BATCH_ROWS.
+    assert probes_limited <= 4 * (len(plan) + 1) * BATCH_ROWS
+    assert 2 * probes_limited <= probes_full
+
+
+def test_columnar_first_streamed_answer_is_cheap():
+    query, database = yannakakis_scaling_workload(800, seed=1)
+    evaluator = YannakakisEvaluator(query)
+    _, full_probes = _probes(
+        lambda: evaluator.evaluate(database, backend="columnar")
+    )
+    stream = evaluator.iter_answers(database, backend="columnar")
+    first, first_probes = _probes(lambda: next(stream))
+    assert first in evaluator.evaluate(database)
+    assert 10 * first_probes <= full_probes
+
+
+# ----------------------------------------------------------------------
+# Cache and aliasing discipline (satellite: statistics/encoding caches)
+# ----------------------------------------------------------------------
+def test_encoded_store_cached_per_encoder_and_shared_across_views():
+    x, y = Variable("x"), Variable("y")
+    relation = Relation(
+        (x, y), [(Constant(i), Constant(i % 2)) for i in range(8)]
+    )
+    encoder = TermEncoder()
+    first = relation.encoded(encoder)
+    assert relation.encoded(encoder).store is first.store  # built once
+
+    # with_schema views share row storage, hence the encoded store too.
+    view = relation.with_schema((Variable("u"), Variable("v")))
+    assert view.encoded(encoder).store is first.store
+
+    # A different encoder invalidates the single-slot cache...
+    other = TermEncoder()
+    rebuilt = relation.encoded(other)
+    assert rebuilt.store is not first.store
+    assert list(rebuilt.decoded_rows()) == relation.rows
+    # ...and switching back rebuilds again, still correct.
+    again = relation.encoded(encoder)
+    assert again.store is not first.store
+    assert list(again.decoded_rows()) == relation.rows
+
+
+def test_relation_operator_outputs_never_alias_stats_caches():
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    left = Relation((x, y), [(Constant(1), Constant(2))])
+    right = Relation((y, z), [(Constant(2), Constant(3))])
+    left.column_distinct_counts()  # populate the stats cache
+    joined = left.join(right)
+    assert joined._stats is not left._stats
+    assert joined._stats is not right._stats
+    projected = joined.project((x,))
+    assert projected._stats is not joined._stats
+
+
+def test_encoded_operator_outputs_get_fresh_caches():
+    left, right = _encoded_pair()
+    left.key_index((0,))  # populate a store cache
+    out = left.semijoin(right)
+    assert out.store is not left.store
+    assert out.store.caches is not left.store.caches
+
+    # Schema views share the store (and so all caches)...
+    view = left.with_schema((Variable("p"), Variable("q")))
+    assert view.store is left.store
+    # ...while fresh_copy shares the immutable columns but never the caches.
+    fresh = left.fresh_copy()
+    assert fresh.store is not left.store
+    assert fresh.store.caches is not left.store.caches
+    assert fresh.store.columns[0] is left.store.columns[0]
+
+
+# ----------------------------------------------------------------------
+# Backend resolution and the numpy storage path
+# ----------------------------------------------------------------------
+def test_resolve_backend_precedence(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert resolve_backend() == "tuple"
+    assert resolve_backend("columnar") == "columnar"
+    monkeypatch.setenv(BACKEND_ENV, "columnar")
+    assert resolve_backend() == "columnar"
+    assert resolve_backend("tuple") == "tuple"  # explicit wins
+    with pytest.raises(ValueError):
+        resolve_backend("vectorised")
+
+
+def test_numpy_path_agrees_with_tuple_oracle(monkeypatch):
+    pytest.importorskip("numpy")
+    monkeypatch.setenv(NUMPY_ENV, "1")
+
+    # Fresh relations (no cached pure-python stores) under the numpy flag.
+    encoder = TermEncoder()
+    x, y = Variable("x"), Variable("y")
+    relation = Relation(
+        (x, y), [(Constant(i % 7), Constant(i % 3)) for i in range(40)]
+    )
+    encoded = relation.encoded(encoder)
+    assert encoded.store.use_numpy
+    assert list(encoded.decoded_rows()) == relation.rows
+
+    query, database = yannakakis_scaling_workload(150, seed=4)
+    evaluator = YannakakisEvaluator(query)
+    expected = evaluator.evaluate(database, backend="tuple")
+    assert evaluator.evaluate(
+        database, scans=ScanCache(database), backend="columnar"
+    ) == expected
+
+    # The same workload through the plan executor's numpy batch face.
+    cyclic_query, cyclic_db = randomized_cyclic_workload(11)
+    assert evaluate_with_plan(
+        cyclic_query, cyclic_db, backend="columnar"
+    ) == evaluate_with_plan(cyclic_query, cyclic_db, backend="tuple")

@@ -224,6 +224,34 @@ class TestMutationCorpus:
         assert diagnostics[0].severity is Severity.WARNING
         assert verify_plan(bushy) == []
 
+    def test_plan013_unregistered_operator_type(self):
+        class CustomScan(Scan):
+            """A subclass outside the batch-face width registry."""
+
+        diagnostics = verify_plan(CustomScan(Atom(E, (x, y))))
+        assert codes(diagnostics) == ["PLAN013"]
+        assert diagnostics[0].severity is Severity.WARNING
+
+    def test_plan014_stale_cached_encoding(self):
+        from repro.evaluation import ExecutionContext
+        from repro.workloads.generators import yannakakis_scaling_workload
+
+        query, database = yannakakis_scaling_workload(60, seed=0)
+        ops = compile_plan(plan_greedy(query, database))
+        top = Project(ops[-1], first_occurrence_schema(query.head))
+        context = ExecutionContext(database, backend="columnar")
+        top.materialize_encoded(context)
+        assert verify_plan(top) == []  # executed batch face verifies clean
+        top._encoded = top.children[0]._encoded  # wrong-width cached result
+        assert codes(verify_plan(top)) == ["PLAN014"]
+
+    def test_plan014_takes_priority_only_on_clean_nodes(self):
+        # A tuple-face corruption reports its own code, not a duplicate
+        # PLAN014 — the batch check runs only on clean nodes.
+        project = Project(scan_e(), (x,))
+        project.schema = (x, w)  # len(_positions) == 1 != 2 == len(schema)
+        assert codes(verify_plan(project)) == ["PLAN004"]
+
 
 # ----------------------------------------------------------------------
 # The REPRO_VERIFY hook
