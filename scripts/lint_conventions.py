@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repository-convention lint — rules a generic linter cannot know.
 
-Four rules, each encoding a convention the codebase actually relies on:
+Five rules, each encoding a convention the codebase actually relies on:
 
 1. **Operator faces** — every concrete operator node in
    ``src/repro/evaluation/operators.py`` implements both execution faces
@@ -21,6 +21,11 @@ Four rules, each encoding a convention the codebase actually relies on:
    ``src/repro/analysis/verify_plan.py``, so the static verifier's
    batch-face width check (PLAN013/PLAN014) can recompute its output
    width instead of warning it unchecked.
+5. **Planner entry points accept ``backend=``** — every public planner
+   in ``join_plans.py``/``planner_dp.py`` (a ``plan_*`` function taking
+   a ``database``, or an entry point taking a ``planner``) must accept a
+   ``backend`` keyword, so any planner can be dropped into any entry
+   point regardless of which execution backend runs the plan.
 
 Exit 0 when clean, 1 with one line per violation otherwise (run via
 ``make lint``).
@@ -183,12 +188,44 @@ def check_batch_face_registry() -> List[str]:
     return violations
 
 
+# ----------------------------------------------------------------------
+# Rule 5: planner entry points accept backend=
+# ----------------------------------------------------------------------
+PLANNER_FILES = (
+    REPO_ROOT / "src" / "repro" / "evaluation" / "join_plans.py",
+    REPO_ROOT / "src" / "repro" / "evaluation" / "planner_dp.py",
+)
+
+
+def check_planner_backend_parameter() -> List[str]:
+    violations: List[str] = []
+    for path in PLANNER_FILES:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in tree.body:
+            if not isinstance(node, ast.FunctionDef) or node.name.startswith("_"):
+                continue
+            arguments = {
+                argument.arg
+                for argument in node.args.args + node.args.kwonlyargs
+            }
+            is_planner = node.name.startswith("plan_") and "database" in arguments
+            is_entry_point = "planner" in arguments and "database" in arguments
+            if (is_planner or is_entry_point) and "backend" not in arguments:
+                violations.append(
+                    f"{relative(path)}:{node.lineno}: planner entry point "
+                    f"{node.name} does not accept backend= "
+                    "(planners must be backend-agnostic drop-ins)"
+                )
+    return violations
+
+
 def main() -> int:
     violations = (
         check_operator_faces()
         + check_mutable_defaults()
         + check_bench_smoke()
         + check_batch_face_registry()
+        + check_planner_backend_parameter()
     )
     for violation in violations:
         print(violation)
@@ -197,7 +234,8 @@ def main() -> int:
         return 1
     print(
         "lint: conventions hold "
-        "(operator faces, defaults, BENCH_SMOKE, batch-face registry)"
+        "(operator faces, defaults, BENCH_SMOKE, batch-face registry, "
+        "planner backend= parameter)"
     )
     return 0
 

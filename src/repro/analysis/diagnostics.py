@@ -53,6 +53,7 @@ CODES: Dict[str, str] = {
     "PLAN012": "streaming hash-join chain is not left-deep over scans",
     "PLAN013": "operator type is outside the batch-face width registry",
     "PLAN014": "batch face out of sync (width or cached encoding vs schema)",
+    "PLAN015": "bag node out of sync (bag vs schema or vs decomposition tree)",
     "WKL001": "malformed or unsafe query",
     "WKL002": "one predicate used with two different arities",
     "WKL003": "atom disagrees with the declared schema",

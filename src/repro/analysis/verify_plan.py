@@ -18,9 +18,10 @@ PLAN008  estimates present on every node once any node has one      warning
 PLAN009  estimates are finite and non-negative                      error
 PLAN010  scan atoms are well-formed (arity, no nulls)               error
 PLAN011  streaming: a cursor plan keeps CursorEnumerate at the root warning
-PLAN012  streaming: hash-join chains stay left-deep over scans      warning
+PLAN012  streaming: hash-join build sides are join subtrees         warning
 PLAN013  batch face: operator type is in the width registry         warning
 PLAN014  batch face: width/cached encoding agree with the schema    error
+PLAN015  bag nodes agree with their schema and decomposition tree   error
 ======== ========================================================== ========
 
 The key idea is *recomputation*: the verifier re-runs the same position
@@ -59,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..datamodel import Null, Variable
 from ..evaluation.operators import (
+    BagNode,
     CursorEnumerate,
     Distinct,
     HashJoin,
@@ -150,6 +152,7 @@ _CHILD_COUNTS = {
     Select: 1,
     Project: 1,
     Distinct: 1,
+    BagNode: 1,
     SemiJoin: 2,
     HashJoin: 2,
 }
@@ -168,6 +171,7 @@ _BATCH_WIDTHS = {
     Distinct: lambda op: len(op.children[0].schema),
     SemiJoin: lambda op: len(op.children[0].schema),
     HashJoin: lambda op: len(op.children[0].schema) + len(op._right_residual),
+    BagNode: lambda op: len(op.children[0].schema),
     CursorEnumerate: lambda op: len(op.node_carry[op.tree.root]),
 }
 
@@ -414,6 +418,83 @@ def _check_hashjoin(operator: HashJoin, diagnostics: List[Diagnostic]) -> None:
         )
 
 
+def _check_bagnode(operator: BagNode, diagnostics: List[Diagnostic]) -> None:
+    """PLAN015 (node-local): a bag marker passes its child through and its
+    declared bag is exactly the schema the bag sub-plan produces."""
+    label = _label(operator)
+    child = operator.children[0]
+    if operator.schema != child.schema:
+        diagnostics.append(
+            Diagnostic(
+                "PLAN015",
+                Severity.ERROR,
+                f"bag node schema ({', '.join(map(str, operator.schema))}) "
+                "differs from its sub-plan's "
+                f"({', '.join(map(str, child.schema))})",
+                subject=label,
+            )
+        )
+        return
+    if frozenset(operator.schema) != operator.bag:
+        diagnostics.append(
+            Diagnostic(
+                "PLAN015",
+                Severity.ERROR,
+                f"declared bag {{{', '.join(sorted(map(str, operator.bag)))}}} "
+                "disagrees with the materialised schema "
+                f"({', '.join(map(str, operator.schema))})",
+                subject=label,
+            )
+        )
+
+
+def _check_bag_tree_sync(
+    nodes: Sequence[Operator], diagnostics: List[Diagnostic]
+) -> None:
+    """PLAN015 (tree-level): bag operators agree with the decomposition tree.
+
+    Wherever a cursor enumeration runs over bag operators, each bag's
+    declared variables must equal the vertices of the join-tree node it
+    is plugged into — a decomposition edge or bag mutated after
+    compilation desynchronises the semijoin passes silently.  The
+    semi-join reducers wrap each node's base operator, keeping it on the
+    left spine, so the check unwraps ``SemiJoin`` chains first.
+    """
+    for node in nodes:
+        if not isinstance(node, CursorEnumerate):
+            continue
+        try:
+            tree = node.tree
+            entries = list(node.node_ops.items())
+        except Exception:
+            continue  # PLAN007 covers a malformed enumeration
+        for identifier, op in entries:
+            while isinstance(op, SemiJoin) and op.children:
+                op = op.children[0]
+            if not isinstance(op, BagNode):
+                continue
+            try:
+                vertices = frozenset(
+                    term
+                    for term in tree.node(identifier).vertices
+                    if isinstance(term, Variable)
+                )
+            except Exception:
+                continue
+            if vertices != op.bag:
+                diagnostics.append(
+                    Diagnostic(
+                        "PLAN015",
+                        Severity.ERROR,
+                        f"bag {{{', '.join(sorted(map(str, op.bag)))}}} of node "
+                        f"{identifier} disagrees with the decomposition-tree "
+                        "vertices "
+                        f"{{{', '.join(sorted(map(str, vertices)))}}}",
+                        subject=_label(op),
+                    )
+                )
+
+
 def _check_enumerate(
     operator: CursorEnumerate, diagnostics: List[Diagnostic]
 ) -> None:
@@ -558,6 +639,8 @@ def _check_node(operator: Operator, diagnostics: List[Diagnostic]) -> None:
             _check_semijoin(operator, diagnostics)
         elif isinstance(operator, HashJoin):
             _check_hashjoin(operator, diagnostics)
+        elif isinstance(operator, BagNode):
+            _check_bagnode(operator, diagnostics)
         elif isinstance(operator, CursorEnumerate):
             _check_enumerate(operator, diagnostics)
     except Exception as error:  # a corrupt node must not crash the verifier
@@ -623,18 +706,35 @@ def _check_streaming(
     if has_cursor:
         return
     for node in nodes:
-        if isinstance(node, HashJoin) and not isinstance(node.children[1], Scan):
+        if isinstance(node, HashJoin) and not _materialisable_build(
+            node.children[1]
+        ):
             diagnostics.append(
                 Diagnostic(
                     "PLAN012",
                     Severity.WARNING,
                     "streaming hash join probes a "
-                    f"{type(node.children[1]).__name__} build side — the chain "
-                    "is not left-deep over scans, so the probe side cannot "
-                    "come from a cached base partition",
+                    f"{type(node.children[1]).__name__} build side — not a "
+                    "join subtree over scans, so the probe side cannot be "
+                    "materialised into a cached partition",
                     subject=_label(node),
                 )
             )
+
+
+def _materialisable_build(node: Operator) -> bool:
+    """Whether a hash-join build side is a join subtree over base scans.
+
+    Streaming chains probe the build side as a materialised partition;
+    scans and (bushy) hash-join subtrees over scans materialise into one
+    cleanly, while pipelining operators (Select/Distinct/SemiJoin/...)
+    in the build side mean the partition cannot come from the cache.
+    """
+    if isinstance(node, Scan):
+        return True
+    if isinstance(node, HashJoin):
+        return all(_materialisable_build(child) for child in node.children)
+    return False
 
 
 # ----------------------------------------------------------------------
@@ -651,6 +751,7 @@ def verify_plan(root: Operator, *, streaming: bool = False) -> List[Diagnostic]:
     for node in nodes:
         _check_node(node, diagnostics)
     _check_estimates(nodes, diagnostics)
+    _check_bag_tree_sync(nodes, diagnostics)
     if streaming:
         _check_streaming(root, nodes, diagnostics)
     return diagnostics

@@ -230,7 +230,7 @@ def _cmd_evaluate(args: argparse.Namespace, out: IO[str]) -> int:
         # reformulation search; fall back to the decision procedure so the
         # historical ``evaluate --dependency "R(x,y), R(x,z) -> y = z"``
         # behaviour is preserved.
-        if route == "plan" and egds and not tgds and args.engine == "auto":
+        if route in ("plan", "decomposition") and egds and not tgds and args.engine == "auto":
             decision = decide_semantic_acyclicity(query, egds)
             if decision.semantically_acyclic and decision.witness is not None:
                 route, evaluator = "reformulated", YannakakisEvaluator(decision.witness)
@@ -273,7 +273,7 @@ def _cmd_check(args: argparse.Namespace, out: IO[str]) -> int:
         verify_plan,
     )
     from .datamodel import Schema
-    from .evaluation.join_plans import compile_plan, plan_greedy
+    from .evaluation.join_plans import compile_plan, resolve_planner
     from .evaluation.operators import Project, first_occurrence_schema
 
     diagnostics: List[Diagnostic] = []
@@ -317,7 +317,7 @@ def _cmd_check(args: argparse.Namespace, out: IO[str]) -> int:
                 verify_plan(evaluator.compile_stream_plan(), streaming=True)
             )
         else:
-            plan = plan_greedy(query, database)
+            plan = resolve_planner(None)(query, database)
             if plan.steps:
                 top = Project(
                     compile_plan(plan)[-1], first_occurrence_schema(query.head)
@@ -461,10 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument("--data", required=True, help="data file (one atom per line)")
     evaluate_parser.add_argument(
         "--engine",
-        choices=("auto", "yannakakis", "reformulation", "plan", "generic"),
+        choices=("auto", "yannakakis", "reformulation", "decomposition", "plan", "generic"),
         default="auto",
         help="evaluation route (default: auto — Yannakakis, reformulation "
-        "under constraints, or a greedy join plan)",
+        "under constraints, or decomposition-guided bags for cyclic queries)",
     )
     evaluate_parser.add_argument(
         "--limit",
@@ -490,7 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain_parser.add_argument("--data", required=True, help="data file (one atom per line)")
     explain_parser.add_argument(
         "--engine",
-        choices=("auto", "yannakakis", "reformulation", "plan"),
+        choices=("auto", "yannakakis", "reformulation", "decomposition", "plan"),
         default="auto",
         help="force the explained route (default: auto)",
     )
@@ -527,7 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_parser.add_argument(
         "--engine",
-        choices=("auto", "yannakakis", "reformulation", "plan"),
+        choices=("auto", "yannakakis", "reformulation", "decomposition", "plan"),
         default="auto",
         help="route whose plans to verify with --data (default: auto)",
     )

@@ -37,6 +37,7 @@ from .encoding import (
     resolve_backend,
 )
 from .operators import (
+    BagNode,
     CardinalityEstimate,
     CostModel,
     CursorEnumerate,
@@ -63,6 +64,7 @@ from .join_plans import (
     JoinPlan,
     PlanExecution,
     PlanStep,
+    PlanTree,
     boolean_with_plan,
     compile_plan,
     estimate_cardinality,
@@ -76,7 +78,9 @@ from .join_plans import (
     plan_greedy,
     plan_greedy_heuristic,
     plan_in_query_order,
+    resolve_planner,
 )
+from .planner_dp import DP_ATOM_LIMIT, DecompositionEvaluator, plan_dp, plan_dp_linear
 from .cover_game import (
     CoverEngine,
     CoverGameResult,
@@ -102,12 +106,15 @@ from .semacyclic_eval import (
 __all__ = [
     "AcyclicityRequired",
     "BACKENDS",
+    "BagNode",
     "BatchEvaluator",
     "CardinalityEstimate",
     "CostModel",
     "CoverEngine",
     "CoverGameResult",
     "CursorEnumerate",
+    "DP_ATOM_LIMIT",
+    "DecompositionEvaluator",
     "Distinct",
     "EncodedRelation",
     "ExecutionContext",
@@ -118,6 +125,7 @@ __all__ = [
     "Partition",
     "PlanExecution",
     "PlanStep",
+    "PlanTree",
     "Project",
     "Relation",
     "Scan",
@@ -158,11 +166,14 @@ __all__ = [
     "membership_via_cover_game_guarded",
     "numpy_enabled",
     "plan_by_cardinality",
+    "plan_dp",
+    "plan_dp_linear",
     "plan_greedy",
     "plan_greedy_heuristic",
     "plan_in_query_order",
     "query_covers_database",
     "render_plan",
     "resolve_backend",
+    "resolve_planner",
     "resolve_route",
 ]

@@ -50,7 +50,12 @@ from ..datamodel import Atom, Constant, Instance, Predicate, Term, Variable
 from ..dependencies.tgd import TGD
 from ..queries.cq import ConjunctiveQuery
 from .encoding import TermEncoder
-from .join_plans import evaluate_with_plan, explain_plan, iter_with_plan, plan_greedy
+from .join_plans import (
+    evaluate_with_plan,
+    explain_plan,
+    iter_with_plan,
+    resolve_planner,
+)
 from .relation import Relation, Row, ScanProvider, compile_scan_pattern
 from .yannakakis import YannakakisEvaluator
 
@@ -232,8 +237,12 @@ class BatchEvaluator:
     * ``"reformulated"`` — the query is cyclic but ``tgds`` admit an acyclic
       reformulation (Proposition 24): Yannakakis on the reformulation — the
       fpt route, sound on every database satisfying the tgds;
-    * ``"plan"`` — fallback: a greedy hash-join plan on the Relation engine
-      (worst-case exponential in the query, as CQ evaluation must be).
+    * ``"decomposition"`` — the query is cyclic with no reformulation: the
+      bags of a min-fill tree decomposition are materialised and Yannakakis
+      runs over the bag tree (polynomial for fixed decomposition width);
+    * ``"plan"`` — forced fallback (``engine="plan"``): a join plan picked
+      by the default planner on the Relation engine (worst-case exponential
+      in the query, as CQ evaluation must be).
 
     :meth:`evaluate` then drives every route against one shared
     :class:`ScanCache`, so the batch pays each distinct (predicate,
@@ -374,7 +383,7 @@ class BatchEvaluator:
                     )
                 )
             else:
-                plan = plan_greedy(query, database, scans=scans)
+                plan = resolve_planner(None)(query, database, scans=scans)
                 lines.append(
                     explain_plan(
                         plan, database, scans=scans, execute=execute, backend=backend

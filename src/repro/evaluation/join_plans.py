@@ -13,10 +13,16 @@ the design space on the same workloads:
    (:mod:`repro.evaluation.yannakakis`) — the method semantic acyclicity is
    trying to unlock.
 
-A plan is an ordered sequence of atoms; compilation turns it into a
-left-deep chain of :class:`~repro.evaluation.operators.Scan` and
-:class:`~repro.evaluation.operators.HashJoin` operators.  The two execution
-faces come straight from the IR:
+A plan is an ordered sequence of atoms, optionally refined by a *join
+tree* (:class:`PlanTree`) when the planner chose a bushy shape;
+compilation turns it into a chain (left-deep) or tree (bushy) of
+:class:`~repro.evaluation.operators.Scan` and
+:class:`~repro.evaluation.operators.HashJoin` operators.  The default
+planner is the Selinger-style dynamic program of
+:mod:`repro.evaluation.planner_dp` (``REPRO_PLANNER`` overrides it — see
+:func:`resolve_planner`); the greedy planner survives as
+:func:`plan_greedy`, the differential baseline.  The two execution faces
+come straight from the IR:
 
 * :func:`execute_plan` materialises step by step and records every
   intermediate-result size (the ablation benchmarks and the cost-model
@@ -39,8 +45,9 @@ old heuristic survives as :func:`estimate_cardinality` /
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..datamodel import Atom, Constant, Instance, Term, Variable
 from ..queries.cq import ConjunctiveQuery
@@ -78,12 +85,69 @@ class PlanStep:
     estimated_intermediate_rows: int = 0
 
 
+@dataclass(frozen=True)
+class PlanTree:
+    """A (possibly bushy) join tree over the query atoms.
+
+    A node is either a *leaf* (``atom`` set, children ``None``) or a
+    *join* (``atom`` ``None``, both children set).  Left-deep plans don't
+    need one — the step sequence is the shape — but the Selinger DP of
+    :mod:`repro.evaluation.planner_dp` attaches its tree to
+    :attr:`JoinPlan.tree` so :func:`compile_plan` can emit the bushy
+    operator DAG the DP actually costed.
+    """
+
+    atom: Optional[Atom] = None
+    left: Optional["PlanTree"] = None
+    right: Optional["PlanTree"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.atom is not None
+
+    def leaves(self) -> List[Atom]:
+        """The leaf atoms, left to right."""
+        if self.atom is not None:
+            return [self.atom]
+        assert self.left is not None and self.right is not None
+        return self.left.leaves() + self.right.leaves()
+
+    def leftmost_atom(self) -> Atom:
+        node = self
+        while node.atom is None:
+            assert node.left is not None
+            node = node.left
+        return node.atom
+
+    def variables(self) -> Set[Variable]:
+        out: Set[Variable] = set()
+        for atom in self.leaves():
+            out |= atom.variables()
+        return out
+
+    def render(self) -> str:
+        if self.atom is not None:
+            return str(self.atom)
+        assert self.left is not None and self.right is not None
+        return f"({self.left.render()} ⋈ {self.right.render()})"
+
+
 @dataclass
 class JoinPlan:
-    """An ordered sequence of atoms to join, with per-step estimates."""
+    """An ordered sequence of atoms to join, with per-step estimates.
+
+    ``tree`` is optional: left-deep planners leave it ``None`` (the step
+    order *is* the shape) while the DP planner stores the bushy
+    :class:`PlanTree` it chose.  The steps of a tree plan follow the
+    compiled operator order — step 0 is the leftmost leaf's scan, step
+    ``i>0`` the ``i``-th join in post-order, represented by the leftmost
+    leaf of that join's right subtree — so per-step estimated vs.
+    observed intermediate sizes stay aligned for calibration.
+    """
 
     query: ConjunctiveQuery
     steps: List[PlanStep] = field(default_factory=list)
+    tree: Optional[PlanTree] = None
 
     def atoms(self) -> List[Atom]:
         """The atoms in join order."""
@@ -99,6 +163,8 @@ class JoinPlan:
             + ")"
             for index, step in enumerate(self.steps)
         ]
+        if self.tree is not None and not self.tree.is_leaf:
+            parts.append(f"shape: {self.tree.render()}")
         return "\n".join(parts)
 
 
@@ -176,8 +242,10 @@ def plan_in_query_order(
     *,
     scans: Optional[ScanProvider] = None,
     statistics: Optional[Statistics] = None,
+    backend: Optional[str] = None,
 ) -> JoinPlan:
     """The "no planning" plan: atoms in the order they appear in the query."""
+    del backend  # planning is backend-independent; accepted for uniformity
     model = _cost_model(database, scans, statistics)
     return _plan_from_order(query, list(query.body), model)
 
@@ -188,8 +256,10 @@ def plan_by_cardinality(
     *,
     scans: Optional[ScanProvider] = None,
     statistics: Optional[Statistics] = None,
+    backend: Optional[str] = None,
 ) -> JoinPlan:
     """Left-deep plan ordering atoms by estimated scan cardinality only."""
+    del backend
     model = _cost_model(database, scans, statistics)
     ordered = sorted(
         query.body, key=lambda atom: (model.scan_estimate(atom).rows, str(atom))
@@ -203,6 +273,7 @@ def plan_greedy(
     *,
     scans: Optional[ScanProvider] = None,
     statistics: Optional[Statistics] = None,
+    backend: Optional[str] = None,
 ) -> JoinPlan:
     """Greedy connected plan under the statistics-calibrated cost model.
 
@@ -214,6 +285,7 @@ def plan_greedy(
     scans (and the partitions the planner's joint-distinct counts build)
     between planning and execution.
     """
+    del backend
     model = _cost_model(database, scans, statistics)
     body = list(query.body)
     if not body:
@@ -254,6 +326,7 @@ def plan_greedy_heuristic(
     *,
     scans: Optional[ScanProvider] = None,
     statistics: Optional[Statistics] = None,
+    backend: Optional[str] = None,
 ) -> JoinPlan:
     """The historical greedy planner driven by :func:`estimate_cardinality`.
 
@@ -263,6 +336,7 @@ def plan_greedy_heuristic(
     on the plan still come from the calibrated model, so only the *order*
     differs from :func:`plan_greedy`.
     """
+    del backend
     model = _cost_model(database, scans, statistics)
     remaining = list(query.body)
     if not remaining:
@@ -312,6 +386,57 @@ def _plan_from_order(
 
 
 # ----------------------------------------------------------------------
+# Default-planner resolution
+# ----------------------------------------------------------------------
+PLANNER_ENV = "REPRO_PLANNER"
+
+Planner = Callable[..., JoinPlan]
+
+
+def resolve_planner(
+    planner: Union[Planner, str, None] = None, *, streaming: bool = False
+) -> Planner:
+    """Resolve a planner callable from a name, the environment, or default.
+
+    ``None`` consults the ``REPRO_PLANNER`` environment variable and falls
+    back to ``"dp"`` — the Selinger dynamic program of
+    :mod:`repro.evaluation.planner_dp` is the default planner.  Accepted
+    names: ``dp``, ``greedy``, ``heuristic``, ``cardinality``,
+    ``query-order``.  A callable passes through unchanged, so existing
+    ``planner=plan_greedy`` call sites keep working.
+
+    ``streaming=True`` resolves ``"dp"`` to the left-deep restriction
+    :func:`~repro.evaluation.planner_dp.plan_dp_linear` instead: bushy
+    build sides would have to be materialised before the first answer,
+    breaking the streaming face's bounded-work-per-answer contract, so
+    enumeration entry points plan left-deep chains only.
+    """
+    if callable(planner):
+        return planner
+    name = planner
+    if name is None:
+        name = os.environ.get(PLANNER_ENV, "").strip().lower() or "dp"
+    if name == "dp":
+        # Lazy: planner_dp imports this module.
+        from .planner_dp import plan_dp, plan_dp_linear
+
+        return plan_dp_linear if streaming else plan_dp
+    registry: dict = {
+        "greedy": plan_greedy,
+        "heuristic": plan_greedy_heuristic,
+        "cardinality": plan_by_cardinality,
+        "query-order": plan_in_query_order,
+    }
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown planner {name!r}; expected one of "
+            "'dp', 'greedy', 'heuristic', 'cardinality', 'query-order'"
+        ) from None
+
+
+# ----------------------------------------------------------------------
 # Compilation and execution
 # ----------------------------------------------------------------------
 def _maybe_verify(root: Operator, *, streaming: bool = False, where: str = "") -> None:
@@ -322,13 +447,34 @@ def _maybe_verify(root: Operator, *, streaming: bool = False, where: str = "") -
 
 
 def compile_plan(plan: JoinPlan) -> List[Operator]:
-    """Compile a plan into its left-deep operator chain, one entry per step.
+    """Compile a plan into its operator DAG, one entry per step.
 
     Entry ``i`` is the operator producing the intermediate result after
     step ``i`` (entry 0 is the first scan); the last entry is the plan's
     root.  The operators share structure, so materialising the root
     materialises — and caches — every prefix entry along the way.
+
+    Left-deep plans (``plan.tree is None``) compile to a ``HashJoin``
+    chain over scans.  Tree plans compile the bushy shape: entry 0 is the
+    scan of the leftmost leaf and entry ``i>0`` the ``i``-th join of the
+    tree in post-order, mirroring the plan's step order exactly.
     """
+    if plan.tree is not None:
+        joins: List[Operator] = []
+
+        def build(node: PlanTree) -> Operator:
+            if node.atom is not None:
+                return Scan(node.atom)
+            assert node.left is not None and node.right is not None
+            op: Operator = HashJoin(build(node.left), build(node.right))
+            joins.append(op)
+            return op
+
+        root = build(plan.tree)
+        first = root
+        while first.children:
+            first = first.children[0]
+        return [first] + joins
     ops: List[Operator] = []
     current: Optional[Operator] = None
     for step in plan.steps:
@@ -501,12 +647,17 @@ def _default_scans(
 def evaluate_with_plan(
     query: ConjunctiveQuery,
     database: Instance,
-    planner=plan_greedy,
+    planner: Union[Planner, str, None] = None,
     *,
     scans: Optional[ScanProvider] = None,
     backend: Optional[str] = None,
 ) -> Set[Tuple[Term, ...]]:
-    """Plan and execute ``query`` over ``database``; return the answer set."""
+    """Plan and execute ``query`` over ``database``; return the answer set.
+
+    ``planner`` defaults to :func:`resolve_planner`'s choice (the Selinger
+    DP unless ``REPRO_PLANNER`` overrides it); a name or callable pins one.
+    """
+    planner = resolve_planner(planner)
     scans = _default_scans(database, scans)
     plan = planner(query, database, scans=scans)
     return execute_plan(plan, database, scans=scans, backend=backend).answers
@@ -515,13 +666,19 @@ def evaluate_with_plan(
 def iter_with_plan(
     query: ConjunctiveQuery,
     database: Instance,
-    planner=plan_greedy,
+    planner: Union[Planner, str, None] = None,
     *,
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
     backend: Optional[str] = None,
 ) -> Iterator[Tuple[Term, ...]]:
-    """Plan ``query`` and stream its answers (see :func:`iter_plan_answers`)."""
+    """Plan ``query`` and stream its answers (see :func:`iter_plan_answers`).
+
+    The default planner resolves in *streaming* mode: left-deep chains
+    only, so the pipelined executor does bounded work per answer instead
+    of materialising a bushy build side first.
+    """
+    planner = resolve_planner(planner, streaming=True)
     scans = _default_scans(database, scans)
     plan = planner(query, database, scans=scans)
     return iter_plan_answers(plan, database, scans=scans, limit=limit, backend=backend)
@@ -530,7 +687,7 @@ def iter_with_plan(
 def boolean_with_plan(
     query: ConjunctiveQuery,
     database: Instance,
-    planner=plan_greedy,
+    planner: Union[Planner, str, None] = None,
     *,
     scans: Optional[ScanProvider] = None,
     backend: Optional[str] = None,

@@ -52,7 +52,18 @@ streaming face pipelines the whole prefix.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..datamodel import Atom, Instance, Predicate, Term, Variable
 from ..hypergraph import JoinTree
@@ -853,6 +864,45 @@ class CursorEnumerate(Operator):
         return f"CursorEnumerate[{', '.join(str(v) for v in self.schema)}]"
 
 
+class BagNode(Operator):
+    """The boundary of one materialised decomposition bag (pass-through).
+
+    The decomposition route for cyclic queries materialises each bag of a
+    tree decomposition as a ``HashJoin``/``Project`` sub-DAG and then runs
+    Yannakakis over the bag tree.  ``BagNode`` wraps each bag's sub-DAG: it
+    forwards every execution face to its child unchanged, but (a) renders
+    the bag boundary in ``EXPLAIN`` and (b) declares the bag's variable set
+    so the static verifier can cross-check the compiled schema against the
+    decomposition tree (PLAN015).  ``node_id`` names the bag-tree node this
+    operator materialises.
+    """
+
+    __slots__ = ("bag", "node_id")
+
+    def __init__(
+        self, child: Operator, bag: Iterable[Variable], node_id: int
+    ) -> None:
+        super().__init__(tuple(child.schema), (child,))
+        self.bag: FrozenSet[Variable] = frozenset(bag)
+        self.node_id = node_id
+
+    def _materialize(self, context: ExecutionContext) -> Relation:
+        return self.children[0].materialize(context)
+
+    def iter_rows(self, context: ExecutionContext) -> Iterator[Row]:
+        return self.children[0].iter_rows(context)
+
+    def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
+        return self.children[0].materialize_encoded(context)
+
+    def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
+        return self.children[0].iter_batches(context)
+
+    def label(self) -> str:
+        inner = ", ".join(sorted(str(v) for v in self.bag))
+        return f"Bag[{self.node_id}: {inner}]"
+
+
 # ----------------------------------------------------------------------
 # Statistics and the cost model
 # ----------------------------------------------------------------------
@@ -899,16 +949,35 @@ class CardinalityEstimate:
 
     The per-variable counts are what lets join selectivities compose
     through a plan without re-reading the data (System-R style propagation).
+    ``pairs`` carries the correlation-aware refinement: sketched distinct
+    counts of variable *pairs* (:meth:`Relation.key_pair_distinct_counts`),
+    keyed by name-ordered variable pairs — what
+    :meth:`correlated_joint_distinct` consults so multi-key joins do not
+    multiply the distincts of variables that move together.
     """
 
-    __slots__ = ("rows", "distinct")
+    __slots__ = ("rows", "distinct", "pairs")
 
-    def __init__(self, rows: float, distinct: Dict[Variable, float]) -> None:
+    def __init__(
+        self,
+        rows: float,
+        distinct: Dict[Variable, float],
+        pairs: Optional[Dict[Tuple[Variable, Variable], float]] = None,
+    ) -> None:
         self.rows = max(0.0, rows)
         self.distinct = {
             variable: max(0.0, min(count, self.rows))
             for variable, count in distinct.items()
         }
+        self.pairs: Dict[Tuple[Variable, Variable], float] = {
+            key: max(0.0, min(count, self.rows))
+            for key, count in (pairs or {}).items()
+        }
+
+    @staticmethod
+    def pair_key(left: Variable, right: Variable) -> Tuple[Variable, Variable]:
+        """The canonical (name-ordered) key for a variable pair."""
+        return (left, right) if left.name <= right.name else (right, left)
 
     def joint_distinct(self, variables: Sequence[Variable]) -> float:
         """Estimated distinct value tuples over ``variables`` (≤ rows)."""
@@ -916,6 +985,44 @@ class CardinalityEstimate:
         for variable in variables:
             product *= max(1.0, self.distinct.get(variable, 1.0))
         return min(self.rows, product) if variables else min(self.rows, 1.0)
+
+    def correlated_joint_distinct(self, variables: Sequence[Variable]) -> float:
+        """Joint distinct count over ``variables``, correlation-aware.
+
+        Where :meth:`joint_distinct` multiplies per-variable counts (the
+        independence assumption), this walks a spanning forest of the
+        sketched pair counts: per tree edge ``(u, v)`` the factor is the
+        *conditional* multiplicity ``pairs[u, v] / d(u)`` instead of
+        ``d(v)``.  On a functionally determined pair that factor is 1, so a
+        two-key join on ``(x, f(x))`` is costed like the one-key join it
+        really is.  Falls back to :meth:`joint_distinct` exactly when no
+        pair sketch covers the variables.
+        """
+        ordered = sorted(set(variables), key=lambda v: v.name)
+        if not ordered:
+            return min(self.rows, 1.0)
+        if not self.pairs:
+            return self.joint_distinct(ordered)
+        total = 1.0
+        visited: Set[Variable] = set()
+        for seed in ordered:
+            if seed in visited:
+                continue
+            visited.add(seed)
+            total *= max(1.0, self.distinct.get(seed, 1.0))
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop(0)
+                for other in ordered:
+                    if other in visited:
+                        continue
+                    pair = self.pairs.get(self.pair_key(current, other))
+                    if pair is None:
+                        continue
+                    total *= pair / max(1.0, self.distinct.get(current, 1.0))
+                    visited.add(other)
+                    frontier.append(other)
+        return min(self.rows, total)
 
 
 class CostModel:
@@ -935,11 +1042,16 @@ class CostModel:
       cost ``1 / max(d(i), d(j))`` each;
     * ``Select`` — ``1 / d(v)`` per bound variable;
     * ``SemiJoin`` — ``|L| · min(1, dR(V) / dL(V))`` on shared variables
-      ``V`` (joint counts);
-    * ``HashJoin`` — ``|L| · |R| / ∏_{v ∈ V} max(dL(v), dR(v))``; the cross
-      product when ``V`` is empty;
-    * ``Project`` / ``Distinct`` — ``min(|input|, ∏ d(v))`` over the kept
-      variables;
+      ``V`` (correlation-aware joint counts);
+    * ``HashJoin`` — ``|L| · |R| / max(dL(v), dR(v))`` on a single shared
+      variable; on multi-variable keys ``|L| · |R| / max(dL(V), dR(V))``
+      with the *joint* key count from the pair sketches
+      (:meth:`CardinalityEstimate.correlated_joint_distinct`), so
+      correlated keys are not divided twice; the cross product when ``V``
+      is empty;
+    * ``Project`` / ``Distinct`` — ``min(|input|, d(V))`` over the kept
+      variables (correlation-aware);
+    * ``BagNode`` — pass-through (the bag boundary is presentational);
     * ``CursorEnumerate`` — the hash-join/projection estimate of its join
       tree, folded bottom-up with the formulas above.
     """
@@ -994,25 +1106,55 @@ class CostModel:
             variable: float(counts[position])
             for variable, position in zip(pattern.variables, pattern.output_positions)
         }
-        return CardinalityEstimate(rows, distinct)  # type: ignore[arg-type]
+        # Correlation sketch: per-pair distinct counts of the base columns,
+        # translated from positions to this scan's output variables.
+        position_of = dict(zip(pattern.variables, pattern.output_positions))
+        pair_counts = base.key_pair_distinct_counts() if len(position_of) >= 2 else {}
+        pairs: Dict[Tuple[Variable, Variable], float] = {}
+        for (i, j), count in pair_counts.items():
+            left = next((v for v, p in position_of.items() if p == i), None)
+            right = next((v for v, p in position_of.items() if p == j), None)
+            if left is not None and right is not None:
+                pairs[CardinalityEstimate.pair_key(left, right)] = count
+        return CardinalityEstimate(rows, distinct, pairs)  # type: ignore[arg-type]
 
     def join_estimate(
         self, left: CardinalityEstimate, right: CardinalityEstimate
     ) -> CardinalityEstimate:
-        """The hash-join estimate (shared with the greedy planner)."""
+        """The hash-join estimate (shared with the planners).
+
+        Single-key joins divide by ``max(dL(v), dR(v))``; multi-key joins
+        divide by the *joint* key distinct count of the larger side
+        (:meth:`CardinalityEstimate.correlated_joint_distinct`), so keys the
+        pair sketch knows to be correlated are not double-counted the way
+        the per-variable independence product would.
+        """
         shared = [v for v in left.distinct if v in right.distinct]
         rows = left.rows * right.rows
-        for variable in shared:
+        if len(shared) >= 2:
             rows /= max(
-                left.distinct.get(variable, 1.0), right.distinct.get(variable, 1.0), 1.0
+                left.correlated_joint_distinct(shared),
+                right.correlated_joint_distinct(shared),
+                1.0,
             )
+        else:
+            for variable in shared:
+                rows /= max(
+                    left.distinct.get(variable, 1.0),
+                    right.distinct.get(variable, 1.0),
+                    1.0,
+                )
         distinct: Dict[Variable, float] = {}
         for variable, count in left.distinct.items():
             other = right.distinct.get(variable)
             distinct[variable] = min(count, other) if other is not None else count
         for variable, count in right.distinct.items():
             distinct.setdefault(variable, count)
-        return CardinalityEstimate(rows, distinct)
+        pairs = dict(left.pairs)
+        for key, count in right.pairs.items():
+            mine = pairs.get(key)
+            pairs[key] = count if mine is None else min(mine, count)
+        return CardinalityEstimate(rows, distinct, pairs)
 
     # -- per-operator dispatch ------------------------------------------
     def _estimate(self, operator: Operator) -> CardinalityEstimate:
@@ -1026,20 +1168,31 @@ class CostModel:
                 if variable in distinct:
                     rows /= max(distinct[variable], 1.0)
                     distinct[variable] = 1.0
-            return CardinalityEstimate(rows, distinct)
+            pairs = {
+                key: count
+                for key, count in child.pairs.items()
+                if key[0] not in operator.binding and key[1] not in operator.binding
+            }
+            return CardinalityEstimate(rows, distinct, pairs)
         if isinstance(operator, (Project, Distinct)):
             child = self.annotate(operator.children[0])
             kept = operator.schema
-            rows = child.joint_distinct(kept)
+            rows = child.correlated_joint_distinct(kept)
             return CardinalityEstimate(
-                rows, {v: child.distinct.get(v, 1.0) for v in kept}
+                rows,
+                {v: child.distinct.get(v, 1.0) for v in kept},
+                _filter_pairs(child.pairs, kept),
             )
+        if isinstance(operator, BagNode):
+            # Pure pass-through: the bag boundary changes rendering and
+            # verification, never cardinalities.
+            return self.annotate(operator.children[0])
         if isinstance(operator, SemiJoin):
             left = self.annotate(operator.children[0])
             right = self.annotate(operator.children[1])
             shared = operator._shared
-            left_keys = left.joint_distinct(shared)
-            right_keys = right.joint_distinct(shared)
+            left_keys = left.correlated_joint_distinct(shared)
+            right_keys = right.correlated_joint_distinct(shared)
             fraction = min(1.0, right_keys / left_keys) if left_keys else 0.0
             if right.rows == 0:
                 fraction = 0.0
@@ -1050,7 +1203,7 @@ class CostModel:
                 else count
                 for variable, count in left.distinct.items()
             }
-            return CardinalityEstimate(rows, distinct)
+            return CardinalityEstimate(rows, distinct, dict(left.pairs))
         if isinstance(operator, HashJoin):
             return self.join_estimate(
                 self.annotate(operator.children[0]),
@@ -1069,10 +1222,21 @@ class CostModel:
                 estimate = self.join_estimate(estimate, partial[child])
             carry = operator.node_carry[identifier]
             partial[identifier] = CardinalityEstimate(
-                estimate.joint_distinct(carry),
+                estimate.correlated_joint_distinct(carry),
                 {v: estimate.distinct.get(v, 1.0) for v in carry},
+                _filter_pairs(estimate.pairs, carry),
             )
         return partial[tree.root]
+
+
+def _filter_pairs(
+    pairs: Dict[Tuple[Variable, Variable], float], kept: Sequence[Variable]
+) -> Dict[Tuple[Variable, Variable], float]:
+    """The pair sketches whose both variables survive a projection."""
+    keep = set(kept)
+    return {
+        key: count for key, count in pairs.items() if key[0] in keep and key[1] in keep
+    }
 
 
 # ----------------------------------------------------------------------

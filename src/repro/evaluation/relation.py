@@ -385,6 +385,66 @@ class Relation:
         """
         return self.partition(variables).histogram()
 
+    #: Row cap for the sampled key-pair sketch: above this many rows the
+    #: sketch reads an evenly strided sample and scales the observed pair
+    #: count up by the sampling ratio.
+    PAIR_SKETCH_SAMPLE = 4096
+
+    def key_pair_distinct_counts(self) -> Dict[Tuple[int, int], float]:
+        """Sampled distinct counts of column-*pair* value combinations.
+
+        For every position pair ``(i, j)`` with ``i < j``, an estimate of the
+        number of distinct ``(row[i], row[j])`` combinations.  Together with
+        :meth:`column_distinct_counts` this is what lets the cost model see
+        *correlated* join keys: on a column pair where ``j`` is functionally
+        determined by ``i`` the pair count equals the ``i`` count, while the
+        independence assumption would multiply the two.
+
+        Relations up to :data:`PAIR_SKETCH_SAMPLE` rows are counted exactly;
+        larger ones are sketched from an evenly strided sample and the
+        observed count is scaled by the sampling ratio (then clamped between
+        the single-column counts and the row count, the information-theoretic
+        bounds).  Cached positionally in ``_stats`` like
+        :meth:`column_distinct_counts`, hence shared across
+        :meth:`with_schema` views.
+        """
+        cached = self._stats.get("pair_distincts")
+        if cached is None:
+            arity = len(self.schema)
+            pairs: Dict[Tuple[int, int], float] = {}
+            if arity >= 2 and self.rows:
+                total = len(self.rows)
+                stride = max(1, total // self.PAIR_SKETCH_SAMPLE)
+                sample = self.rows[::stride]
+                seen: Dict[Tuple[int, int], Set[Tuple[Term, Term]]] = {
+                    (i, j): set()
+                    for i in range(arity)
+                    for j in range(i + 1, arity)
+                }
+                for row in sample:
+                    for (i, j), combos in seen.items():
+                        combos.add((row[i], row[j]))
+                scale = total / len(sample)
+                columns = self.column_distinct_counts()
+                for (i, j), combos in seen.items():
+                    estimate = len(combos) * scale
+                    floor = float(max(columns[i], columns[j]))
+                    pairs[(i, j)] = min(float(total), max(floor, estimate))
+            cached = pairs
+            self._stats["pair_distincts"] = cached
+        return cached  # type: ignore[return-value]
+
+    def pair_distinct_count(self, left: Variable, right: Variable) -> float:
+        """The sketched distinct count of the ``(left, right)`` value pairs."""
+        i, j = self.position(left), self.position(right)
+        if i == j:
+            return float(self.distinct_count(left))
+        key = (i, j) if i < j else (j, i)
+        counts = self.key_pair_distinct_counts()
+        if key not in counts:  # empty relation / unary schema
+            return float(self.key_distinct_count((left, right)))
+        return counts[key]
+
     def encoded(self, encoder: "TermEncoder") -> "EncodedRelation":  # noqa: F821
         """This relation dictionary-encoded under ``encoder``, built once.
 

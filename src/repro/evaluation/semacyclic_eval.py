@@ -20,7 +20,7 @@ Three routes are implemented:
   amortisation for query batches over overlapping predicates.
 
 Route selection is shared: :func:`resolve_route` picks
-Yannakakis / reformulation / greedy-plan exactly once for
+Yannakakis / reformulation / decomposition / flat-plan exactly once for
 :func:`evaluate_iter`, :class:`~repro.evaluation.batch.BatchEvaluator` and
 the CLI alike, and :func:`explain` pretty-prints whichever physical
 operator plan the chosen route compiles, with the cost model's estimated
@@ -41,7 +41,7 @@ from ..queries.cq import ConjunctiveQuery
 from .batch import BatchEvaluator, ScanCache
 from .cover_game import CoverEngine, instance_covers_database, query_covers_database
 from .generic import membership_generic
-from .join_plans import explain_plan, iter_with_plan, plan_greedy
+from .join_plans import explain_plan, iter_with_plan, resolve_planner
 from .operators import Statistics
 from .relation import Relation, ScanProvider
 from .yannakakis import AcyclicityRequired, YannakakisEvaluator
@@ -172,8 +172,12 @@ def resolve_route(
     Returns ``(route, evaluator)`` where ``route`` is one of
     ``"yannakakis"`` (the query is acyclic — ``evaluator`` runs it),
     ``"reformulated"`` (Proposition 24 — ``evaluator`` runs the acyclic
-    reformulation) or ``"plan"`` (greedy join-plan fallback, ``evaluator``
-    is ``None``).  ``engine`` forces a route the same way it does on
+    reformulation), ``"decomposition"`` (cyclic query — ``evaluator`` is a
+    :class:`~repro.evaluation.planner_dp.DecompositionEvaluator`
+    materialising tree-decomposition bags and running Yannakakis over the
+    bag tree) or ``"plan"`` (flat join-plan fallback, ``evaluator`` is
+    ``None``; reachable only by forcing ``engine="plan"``).  ``engine``
+    forces a route the same way it does on
     :func:`evaluate_iter`; routing work (join tree construction, the
     reformulation search) happens here, eagerly.  With the ``REPRO_VERIFY``
     environment variable set (to anything but ``0``/``false``/``no``), the
@@ -188,10 +192,10 @@ def resolve_route(
         NotSemanticallyAcyclic: for ``engine="reformulation"`` when the
             tgds admit no acyclic reformulation.
     """
-    if engine not in ("auto", "yannakakis", "reformulation", "plan"):
+    if engine not in ("auto", "yannakakis", "reformulation", "decomposition", "plan"):
         raise ValueError(
             f"unknown evaluation engine {engine!r} "
-            "(use 'auto', 'yannakakis', 'reformulation' or 'plan')"
+            "(use 'auto', 'yannakakis', 'reformulation', 'decomposition' or 'plan')"
         )
     if engine in ("auto", "yannakakis"):
         try:
@@ -209,6 +213,10 @@ def resolve_route(
             raise NotSemanticallyAcyclic(
                 f"{query.name} is not semantically acyclic under the given tgds"
             )
+    if engine in ("auto", "decomposition") and query.body:
+        from .planner_dp import DecompositionEvaluator
+
+        return _route_verified("decomposition", DecompositionEvaluator(query))
     return ("plan", None)
 
 
@@ -233,13 +241,15 @@ def evaluate_iter(
       :class:`~repro.evaluation.batch.BatchEvaluator`: Yannakakis' streaming
       phase 4 for acyclic queries, Yannakakis on an acyclic reformulation
       when ``tgds`` make the query semantically acyclic (Proposition 24),
-      and otherwise a greedy join plan with its final join block-streamed;
+      and otherwise the decomposition route (bags of a min-fill tree
+      decomposition materialised, Yannakakis over the bag tree);
     * ``"yannakakis"`` — require the acyclic route
       (raises :class:`~repro.evaluation.yannakakis.AcyclicityRequired`);
     * ``"reformulation"`` — require the Proposition 24 route (raises
       :class:`NotSemanticallyAcyclic` when ``tgds`` admit no acyclic
       reformulation);
-    * ``"plan"`` — force the block-streaming plan route.
+    * ``"decomposition"`` — force the decomposition route;
+    * ``"plan"`` — force the flat block-streaming join-plan route.
 
     ``limit`` caps the number of answers at ``min(limit, |q(D)|)``; ``scans``
     injects a shared scan provider (e.g. a
@@ -272,7 +282,7 @@ def explain(
     """Pretty-print the physical plan chosen for ``query`` over ``database``.
 
     The output names the route (``yannakakis`` / ``reformulated`` /
-    ``plan``, selected exactly as in :func:`evaluate_iter` via
+    ``decomposition`` / ``plan``, selected exactly as in :func:`evaluate_iter` via
     :func:`resolve_route`) and renders the compiled operator tree with each
     operator's **estimated** cardinality (the statistics-calibrated
     :class:`~repro.evaluation.operators.CostModel`) next to its
@@ -308,12 +318,22 @@ def explain(
     if evaluator is not None:
         if route == "reformulated":
             lines.append(f"reformulation: {evaluator.query}")
+        if route == "decomposition":
+            decomposition = evaluator.decomposition
+            bags = ", ".join(
+                "{" + ", ".join(sorted(str(v) for v in decomposition.bag(node))) + "}"
+                for node in decomposition.nodes()
+            )
+            lines.append(
+                f"decomposition: width {decomposition.width}, bags {bags}"
+            )
         lines.append(
             evaluator.explain(database, scans=scans, execute=execute, backend=resolved)
         )
     else:
         statistics = Statistics(database, scans)
-        plan = plan_greedy(query, database, scans=scans, statistics=statistics)
+        planner = resolve_planner(None)
+        plan = planner(query, database, scans=scans, statistics=statistics)
         lines.append(
             explain_plan(
                 plan,

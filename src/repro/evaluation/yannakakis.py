@@ -112,14 +112,20 @@ class YannakakisEvaluator:
         scans: Optional[ScanProvider] = None,
         *,
         backend: Optional[str] = None,
+        join_tree: Optional[JoinTree] = None,
     ) -> None:
         self.query = query
         self._scans = scans
         self._backend = backend
-        try:
-            self.join_tree: JoinTree = build_join_tree(query.body, query_connectors)
-        except JoinTreeError as error:
-            raise AcyclicityRequired(str(error)) from error
+        if join_tree is not None:
+            # Subclass seam: a pre-built tree over virtual atoms (see
+            # DecompositionEvaluator) whose leaves compile via _leaf_op.
+            self.join_tree = join_tree
+        else:
+            try:
+                self.join_tree = build_join_tree(query.body, query_connectors)
+            except JoinTreeError as error:
+                raise AcyclicityRequired(str(error)) from error
 
         self._bottom_up: List[int] = self.join_tree.bottom_up_order()
         self._top_down: List[int] = self.join_tree.top_down_order()
@@ -160,6 +166,15 @@ class YannakakisEvaluator:
     # ------------------------------------------------------------------
     # Plan compilation (pure position arithmetic, no database work)
     # ------------------------------------------------------------------
+    def _leaf_op(self, node) -> Operator:
+        """The operator producing one join-tree node's base relation.
+
+        The seam subclasses override: the base evaluator scans the node's
+        (real) atom; :class:`repro.evaluation.planner_dp
+        .DecompositionEvaluator` materialises a decomposition bag instead.
+        """
+        return Scan(node.atom)
+
     def compile_reduction(self, *, reduce: bool = True) -> Dict[int, Operator]:
         """The per-node reduced operators: scans plus both semi-join passes.
 
@@ -169,7 +184,7 @@ class YannakakisEvaluator:
         returned (the Boolean short-circuit mode).
         """
         ops: Dict[int, Operator] = {
-            node.identifier: Scan(node.atom) for node in self.join_tree.nodes()
+            node.identifier: self._leaf_op(node) for node in self.join_tree.nodes()
         }
         if not reduce:
             return ops

@@ -828,6 +828,68 @@ def plan_quality_workload(
     return query, database
 
 
+def fanout_cycles_workload(
+    size: int,
+    fanout: Optional[int] = None,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """A cyclic (query, database) pair on which every left-deep order blows up.
+
+    The query is two triangles sharing the variable ``z``::
+
+        q(x, u) :- A(x, y), B(y, z), C(z, x), F1(z, u), F2(u, v), F3(v, z)
+
+    The database holds ``size`` disjoint instances.  Each triangle has one
+    cheap "middle" edge away from ``z`` (``A(x, y)`` and ``F2(u, v)``, one
+    fact per instance) while both edges adjacent to ``z`` carry ``fanout``
+    entries per ``z``-value of which only one closes the triangle (default
+    ``max(2, size // 4)``, so the fan grows with the database).
+
+    A left-deep (linear) order can enter only one triangle through its
+    cheap middle edge; the other triangle is reachable solely through a
+    fan edge with nothing but ``z`` bound, so the order pays an
+    ``Θ(size · fanout)`` intermediate before the middle edge prunes it.
+    A bushy plan — or the decomposition route, which materialises the two
+    triangles as separate bags and joins them on ``z`` after semijoin
+    reduction — keeps every intermediate ``Θ(size)``.
+    ``benchmarks/bench_plan_quality.py`` measures the gap.
+    """
+    if fanout is None:
+        fanout = max(2, size // 4)
+    a, b, c = Predicate("A", 2), Predicate("B", 2), Predicate("C", 2)
+    f1, f2, f3 = Predicate("F1", 2), Predicate("F2", 2), Predicate("F3", 2)
+    database = Database()
+    for i in range(size):
+        xi, yi, zi = Constant(f"x{i}"), Constant(f"y{i}"), Constant(f"z{i}")
+        ui, vi = Constant(f"u{i}"), Constant(f"v{i}")
+        database.add(Atom(a, (xi, yi)))
+        database.add(Atom(b, (yi, zi)))
+        database.add(Atom(c, (zi, xi)))
+        database.add(Atom(f1, (zi, ui)))
+        database.add(Atom(f2, (ui, vi)))
+        database.add(Atom(f3, (vi, zi)))
+        # Fan entries adjacent to z that never close their triangle.
+        for k in range(fanout - 1):
+            database.add(Atom(b, (Constant(f"yf{i}_{k}"), zi)))
+            database.add(Atom(c, (zi, Constant(f"xf{i}_{k}"))))
+            database.add(Atom(f1, (zi, Constant(f"uf{i}_{k}"))))
+            database.add(Atom(f3, (Constant(f"vf{i}_{k}"), zi)))
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    u, v = Variable("u"), Variable("v")
+    query = ConjunctiveQuery(
+        (x, u),
+        [
+            Atom(a, (x, y)),
+            Atom(b, (y, z)),
+            Atom(c, (z, x)),
+            Atom(f1, (z, u)),
+            Atom(f2, (u, v)),
+            Atom(f3, (v, z)),
+        ],
+        name=f"fanout_cycles_{size}",
+    )
+    return query, database
+
+
 def grid_database(rows: int, columns: int, predicate: Optional[Predicate] = None) -> Database:
     """A ``rows × columns`` grid over one edge relation (both directions of adjacency)."""
     predicate = predicate or Predicate("E", 2)

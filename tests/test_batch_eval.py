@@ -179,10 +179,10 @@ def test_batch_reformulation_route_on_random_satisfying_databases(seed):
     ]
 
 
-def test_batch_without_tgds_falls_back_to_plans():
+def test_batch_without_tgds_routes_cyclic_to_decomposition():
     query = example1_query()
     batch = BatchEvaluator([query])
-    assert batch.routes() == ["plan"]
+    assert batch.routes() == ["decomposition"]
     database = music_store_database(seed=5, customers=8, records=10, styles=3)
     assert batch.evaluate(database) == [evaluate_generic(query, database)]
 

@@ -239,14 +239,16 @@ class TestRewriteApproximateEvaluate:
         assert "reformulated+yannakakis" in output
         assert "answers: 1" in output
 
-    def test_evaluate_cyclic_query_without_constraints_uses_plan(self, tmp_path):
+    def test_evaluate_cyclic_query_without_constraints_uses_decomposition(
+        self, tmp_path
+    ):
         data = tmp_path / "facts.txt"
         data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
         code, output = run_cli(
             ["evaluate", "--query", "E(x, y), E(y, z), E(z, x)", "--data", str(data)]
         )
         assert code == 0
-        assert "evaluation: plan" in output
+        assert "evaluation: decomposition" in output
         assert "answers: 1" in output
 
 
@@ -366,11 +368,29 @@ class TestExplain:
         assert "Scan[E(x, y)]" in output
         assert "est=" in output and "obs=" in output
 
-    def test_explain_cyclic_query_uses_the_plan_route(self, tmp_path):
+    def test_explain_cyclic_query_uses_the_decomposition_route(self, tmp_path):
         data = tmp_path / "facts.txt"
         data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
         code, output = run_cli(
             ["explain", "--query", "E(x, y), E(y, z), E(z, x)", "--data", str(data)]
+        )
+        assert code == 0
+        assert "route: decomposition" in output
+        assert "decomposition: width" in output
+
+    def test_explain_cyclic_query_can_force_the_plan_route(self, tmp_path):
+        data = tmp_path / "facts.txt"
+        data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
+        code, output = run_cli(
+            [
+                "explain",
+                "--query",
+                "E(x, y), E(y, z), E(z, x)",
+                "--data",
+                str(data),
+                "--engine",
+                "plan",
+            ]
         )
         assert code == 0
         assert "route: plan" in output

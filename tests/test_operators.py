@@ -264,6 +264,10 @@ class TestExplain:
             (x,), [Atom(E, (x, y)), Atom(E, (y, z)), Atom(E, (z, x))]
         )
         report = explain(triangle, database)
+        assert "route: decomposition" in report
+        assert "decomposition: width" in report
+
+        report = explain(triangle, database, engine="plan")
         assert "route: plan" in report
         assert "HashJoin" in report
 

@@ -31,6 +31,8 @@ from repro.analysis.verify_plan import (
 from repro.datamodel import Atom, Constant, Null, Predicate, Variable
 from repro.evaluation import (
     AcyclicityRequired,
+    BagNode,
+    DecompositionEvaluator,
     Distinct,
     HashJoin,
     Project,
@@ -39,6 +41,7 @@ from repro.evaluation import (
     SemiJoin,
     YannakakisEvaluator,
     compile_plan,
+    plan_dp,
     plan_greedy,
     resolve_route,
 )
@@ -67,6 +70,19 @@ def scan_g():
 
 def codes(diagnostics):
     return [d.code for d in diagnostics]
+
+
+def _walk(root):
+    """Every distinct operator reachable from ``root`` (shared nodes once)."""
+    seen, stack, found = set(), [root], []
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        found.append(node)
+        stack.extend(node.children)
+    return found
 
 
 def path_evaluator():
@@ -105,6 +121,23 @@ class TestEmittedPlansAreClean:
         query, tgds, _reformulation = music_store
         route, evaluator = resolve_route(query, tgds=tgds)
         assert route == "reformulated"
+        assert verify_plan(evaluator.compile_answer_plan()) == []
+        assert verify_plan(evaluator.compile_stream_plan(), streaming=True) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_dp_bushy_plans_verify_clean(self, seed):
+        query, database = randomized_cyclic_workload(seed)
+        ops = compile_plan(plan_dp(query, database))
+        assert verify_plan(ops[-1]) == []
+        top = Project(ops[-1], first_occurrence_schema(query.head))
+        assert verify_plan(top, streaming=True) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_decomposition_faces_verify_clean(self, seed):
+        query, _database = randomized_cyclic_workload(seed)
+        evaluator = DecompositionEvaluator(query)
         assert verify_plan(evaluator.compile_answer_plan()) == []
         assert verify_plan(evaluator.compile_stream_plan(), streaming=True) == []
 
@@ -217,12 +250,16 @@ class TestMutationCorpus:
         # the same wrapper is legitimate on the materialising face
         assert verify_plan(wrapped) == []
 
-    def test_plan012_streaming_join_is_not_left_deep(self):
+    def test_plan012_streaming_build_side_is_not_materialisable(self):
+        # A bushy join-over-scans build side is legal (the DP planner emits
+        # those); anything else — here a Distinct — still warns.
         bushy = HashJoin(scan_e(), HashJoin(scan_f(), scan_g()))
-        diagnostics = verify_plan(bushy, streaming=True)
+        assert verify_plan(bushy, streaming=True) == []
+        lazy_build = HashJoin(scan_e(), Distinct(scan_f()))
+        diagnostics = verify_plan(lazy_build, streaming=True)
         assert codes(diagnostics) == ["PLAN012"]
         assert diagnostics[0].severity is Severity.WARNING
-        assert verify_plan(bushy) == []
+        assert verify_plan(lazy_build) == []
 
     def test_plan013_unregistered_operator_type(self):
         class CustomScan(Scan):
@@ -251,6 +288,44 @@ class TestMutationCorpus:
         project = Project(scan_e(), (x,))
         project.schema = (x, w)  # len(_positions) == 1 != 2 == len(schema)
         assert codes(verify_plan(project)) == ["PLAN004"]
+
+    def two_bag_evaluator(self):
+        """Two triangles sharing a vertex: a two-bag decomposition."""
+        return DecompositionEvaluator(
+            parse_query(
+                "q(x) :- E(x, y), E(y, z), E(z, x), F(z, w), F(w, v), F(v, z)"
+            )
+        )
+
+    def test_plan015_bag_declaration_disagrees_with_its_schema(self):
+        evaluator = self.two_bag_evaluator()
+        plan = evaluator.compile_answer_plan()
+        assert verify_plan(plan) == []
+        bag = next(op for op in _walk(plan) if isinstance(op, BagNode))
+        bag.bag = frozenset(set(bag.bag) | {Variable("ghost")})
+        diagnostics = verify_plan(bag)
+        assert codes(diagnostics) == ["PLAN015"]
+        assert diagnostics[0].severity is Severity.ERROR
+
+    def test_plan015_bag_schema_desyncs_from_its_sub_plan(self):
+        evaluator = self.two_bag_evaluator()
+        plan = evaluator.compile_answer_plan()
+        bag = next(op for op in _walk(plan) if isinstance(op, BagNode))
+        bag.schema = tuple(reversed(bag.schema))
+        assert codes(verify_plan(bag)) == ["PLAN015"]
+
+    def test_plan015_decomposition_tree_edge_desync(self):
+        evaluator = self.two_bag_evaluator()
+        stream = evaluator.compile_stream_plan()
+        assert verify_plan(stream, streaming=True) == []
+        # Mutate the decomposition tree under the compiled cursors: drop a
+        # vertex from one bag's join-tree node, as a buggy re-rooting would.
+        tree = stream.tree
+        node = tree.node(tree.root)
+        node.vertices = frozenset(sorted(node.vertices, key=str)[1:])
+        diagnostics = verify_plan(stream, streaming=True)
+        assert "PLAN015" in codes(diagnostics)
+        assert all(d.severity is Severity.ERROR for d in diagnostics)
 
 
 # ----------------------------------------------------------------------
@@ -295,6 +370,9 @@ class TestVerificationHook:
         assert evaluator is not None
         cyclic = parse_query("q(x) :- E(x, y), E(y, z), E(z, x)")
         route, evaluator = resolve_route(cyclic)
+        assert route == "decomposition"
+        assert evaluator is not None
+        route, evaluator = resolve_route(cyclic, engine="plan")
         assert (route, evaluator) == ("plan", None)
 
     def test_compile_seam_catches_corruption(self, monkeypatch):

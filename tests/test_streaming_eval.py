@@ -279,7 +279,7 @@ def test_batch_evaluate_iter_mixed_routes_and_limit():
         database.add(Atom(T, (rng.choice(nodes), rng.choice(nodes))))
 
     batch = BatchEvaluator([cyclic_query, acyclic_probe, triangle], tgds=tgds)
-    assert batch.routes() == ["reformulated", "yannakakis", "plan"]
+    assert batch.routes() == ["reformulated", "yannakakis", "decomposition"]
     expected = batch.evaluate(database)
     results = [list(stream) for stream in batch.evaluate_iter(database)]
     assert [set(streamed) for streamed in results] == expected

@@ -195,7 +195,7 @@ class TestCheckCommand:
         assert code == 0
         assert "plan verified: yannakakis route" in output
 
-    def test_check_with_data_plan_route(self, tmp_path):
+    def test_check_with_data_decomposition_route(self, tmp_path):
         data = tmp_path / "facts.txt"
         data.write_text("E('a', 'b').\nE('b', 'c').\nE('c', 'a').\n")
         code, output = run_cli(
@@ -208,7 +208,7 @@ class TestCheckCommand:
             ]
         )
         assert code == 0
-        assert "plan verified: plan route" in output
+        assert "plan verified: decomposition route" in output
 
     def test_explain_verify_reports_clean(self, tmp_path):
         data = tmp_path / "facts.txt"
