@@ -1,0 +1,219 @@
+"""Service-cache benchmark: delta merge vs rebuild, plan-cache hit rate.
+
+Two panels over the standing :class:`repro.service.QueryService`:
+
+* **Delta merge vs rebuild** — a mutate → scan loop: per round one fact is
+  deleted and one inserted (a size-preserving mutation, exactly the shape
+  the seed's size-snapshot guard could not see), then both cached
+  signatures of a two-hop path query are re-served.  The long-lived cache
+  absorbs each round's delta (``O(delta)`` journal replay + in-place
+  partition patch); the baseline builds a fresh ``ScanCache`` every round
+  (``O(|D|)`` scan + repartition + re-encode).  Headline: wall-clock ratio
+  per round, plus the deterministic work proxy (scans *built*: the
+  long-lived cache materialises each signature once for the whole loop,
+  the baseline once per round).
+
+* **Plan-cache hit rate** — 64 syntactically distinct, variable-renamed
+  variants of one query submitted to one service; core minimisation +
+  canonical relabelling must collapse them onto a single cached plan
+  (the acceptance bar is a ≥ 90% hit rate).
+
+Results land in ``BENCH_service_cache.json``.  ``BENCH_SMOKE=1`` shrinks
+sizes/rounds to milliseconds and skips the timing assertion (tiny inputs
+are noise-dominated); the counter-based assertions always run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from repro.datamodel import Atom, Constant, Database, Predicate, Variable
+from repro.evaluation import ScanCache
+from repro.queries.cq import ConjunctiveQuery
+from repro.reporting import BenchSnapshot
+from repro.service import QueryService
+from conftest import print_series, scaled_sizes, smoke_mode
+
+
+E = Predicate("E", 2)
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+FULL_SIZES = [400, 800, 1600, 3200]
+SMOKE_SIZES = [64, 128]
+SIZES = scaled_sizes(FULL_SIZES, SMOKE_SIZES)
+
+#: serve → mutate → serve rounds per size.
+ROUNDS = 3 if smoke_mode() else 24
+
+#: Isomorphic query variants for the plan-cache panel.
+VARIANTS = 64
+
+#: The plan-cache acceptance bar (fraction of variants answered by one
+#: cached plan).
+MIN_HIT_RATE = 0.9
+
+_CACHE: Dict[str, List[Dict[str, object]]] = {}
+
+
+def _edge(a: int, b: int) -> Atom:
+    return Atom(E, (Constant(a), Constant(b)))
+
+
+def _chain_database(size: int) -> Database:
+    database = Database()
+    for i in range(size):
+        database.add(_edge(i, i + 1))
+    return database
+
+
+def _path_query(a: Variable, b: Variable, c: Variable, name: str = "path"):
+    return ConjunctiveQuery((a, c), [Atom(E, (a, b)), Atom(E, (b, c))], name=name)
+
+
+#: The two signatures the path query pins in the cache: the full binary
+#: scan and a constant-anchored one.
+def _signatures(size: int):
+    return (Atom(E, (x, y)), Atom(E, (Constant(size // 2), y)))
+
+
+def run_delta_vs_rebuild(sizes: Sequence[int] = SIZES) -> List[Dict[str, object]]:
+    """Time the mutate→scan loop on both maintenance strategies."""
+    if "delta" in _CACHE:
+        return _CACHE["delta"]
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        atoms = _signatures(size)
+
+        # --- long-lived cache: deltas absorbed in place ------------------
+        database = _chain_database(size)
+        cache = ScanCache(database)
+        for atom in atoms:  # warm both signatures (and their encodings)
+            cache.scan(atom).encoded(cache.encoder)
+        started = time.perf_counter()
+        for round_index in range(ROUNDS):
+            database.discard(_edge(round_index, round_index + 1))
+            database.add(_edge(size + 1 + round_index, size + 2 + round_index))
+            for atom in atoms:
+                cache.scan(atom)
+        delta_seconds = time.perf_counter() - started
+        delta_built = cache.built
+
+        # --- baseline: fresh cache (full rescan + repartition) per round -
+        database = _chain_database(size)
+        warm = ScanCache(database)
+        for atom in atoms:
+            warm.scan(atom).encoded(warm.encoder)  # same warmup cost paid
+        rebuild_built = 0
+        started = time.perf_counter()
+        for round_index in range(ROUNDS):
+            database.discard(_edge(round_index, round_index + 1))
+            database.add(_edge(size + 1 + round_index, size + 2 + round_index))
+            fresh = ScanCache(database)
+            for atom in atoms:
+                fresh.scan(atom)
+            rebuild_built += fresh.built
+        rebuild_seconds = time.perf_counter() - started
+
+        rows.append(
+            {
+                "size": size,
+                "rounds": ROUNDS,
+                "delta_ms": delta_seconds * 1000.0,
+                "rebuild_ms": rebuild_seconds * 1000.0,
+                "speedup": rebuild_seconds / max(delta_seconds, 1e-9),
+                "delta_merges": cache.delta_merges,
+                "delta_built": delta_built,
+                "rebuild_built": rebuild_built,
+            }
+        )
+    _CACHE["delta"] = rows
+    return rows
+
+
+def run_plan_cache_hit_rate() -> Dict[str, object]:
+    """Submit 64 renamed variants of one query to one service."""
+    if "plans" in _CACHE:
+        return _CACHE["plans"][0]
+    database = _chain_database(SIZES[0])
+    service = QueryService(database)
+    expected = None
+    for index in range(VARIANTS):
+        a, b, c = (Variable(f"v{index}_{j}") for j in range(3))
+        answers = service.submit(_path_query(a, b, c, name=f"variant{index}"))
+        if expected is None:
+            expected = answers
+        assert answers == expected, "isomorphic variants must agree"
+    row = {
+        "variants": VARIANTS,
+        "plan_hits": service.plan_hits,
+        "plan_misses": service.plan_misses,
+        "hit_rate": service.plan_hits / VARIANTS,
+    }
+    _CACHE["plans"] = [row]
+    return row
+
+
+def _write_snapshot() -> None:
+    delta = run_delta_vs_rebuild()
+    plans = run_plan_cache_hit_rate()
+    snapshot = BenchSnapshot("service_cache")
+    snapshot.record("sizes", [row["size"] for row in delta])
+    snapshot.record("rounds", ROUNDS)
+    snapshot.record("delta_speedups", [row["speedup"] for row in delta])
+    snapshot.record("plan_cache", plans)
+    for row in delta:
+        snapshot.add_row("curve", row)
+    snapshot.write()
+
+
+def test_delta_merge_beats_full_rebuild():
+    rows = run_delta_vs_rebuild()
+    print_series(
+        "mutate→scan: delta merge vs fresh-cache rebuild per round",
+        [
+            (
+                row["size"],
+                row["rounds"],
+                f"{row['delta_ms']:.1f}",
+                f"{row['rebuild_ms']:.1f}",
+                f"{row['speedup']:.1f}x",
+                row["delta_built"],
+                row["rebuild_built"],
+            )
+            for row in rows
+        ],
+        header=(
+            "size",
+            "rounds",
+            "delta ms",
+            "rebuild ms",
+            "speedup",
+            "delta built",
+            "rebuild built",
+        ),
+    )
+    _write_snapshot()
+    for row in rows:
+        # Deterministic work proxy: the long-lived cache materialises each
+        # signature once for the whole loop; the baseline pays per round.
+        assert row["delta_built"] < row["rebuild_built"]
+        assert row["delta_merges"] >= ROUNDS
+    if smoke_mode():
+        return
+    last = rows[-1]
+    assert last["speedup"] > 1.0, (
+        f"delta merge should beat the per-round rebuild at size "
+        f"{last['size']}, got {last['speedup']:.2f}x"
+    )
+
+
+def test_plan_cache_hit_rate_across_isomorphic_variants():
+    row = run_plan_cache_hit_rate()
+    print_series(
+        "plan cache over renamed variants",
+        [(row["variants"], row["plan_hits"], row["plan_misses"], f"{row['hit_rate']:.1%}")],
+        header=("variants", "hits", "misses", "hit rate"),
+    )
+    _write_snapshot()
+    assert row["hit_rate"] >= MIN_HIT_RATE

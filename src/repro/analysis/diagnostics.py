@@ -54,6 +54,9 @@ CODES: Dict[str, str] = {
     "PLAN013": "operator type is outside the batch-face width registry",
     "PLAN014": "batch face out of sync (width or cached encoding vs schema)",
     "PLAN015": "bag node out of sync (bag vs schema or vs decomposition tree)",
+    "PLAN016": "cached scan result is stamped with a stale database epoch",
+    "SVC001": "service scan cache epoch desynchronised from its database",
+    "SVC002": "cached plan's statistics drifted past the re-plan threshold",
     "WKL001": "malformed or unsafe query",
     "WKL002": "one predicate used with two different arities",
     "WKL003": "atom disagrees with the declared schema",

@@ -737,15 +737,56 @@ def _materialisable_build(node: Operator) -> bool:
     return False
 
 
+def _check_epochs(
+    nodes: List[Operator], expected_epoch: int, diagnostics: List[Diagnostic]
+) -> None:
+    """PLAN016: cached scan results must carry the current database epoch.
+
+    Scan nodes cache their materialised relation in ``_result``; relations
+    served by an epoch-aware scan cache are stamped with the database
+    mutation epoch they reflect (:meth:`repro.evaluation.relation.Relation
+    .stamp_epoch`).  A stamp disagreeing with ``expected_epoch`` means the
+    plan holds pre-mutation rows — the stale-answer bug the epoch machinery
+    exists to prevent.  Unstamped results (plain per-call scans) are not
+    flagged.
+    """
+    for node in nodes:
+        if not isinstance(node, Scan):
+            continue
+        result = getattr(node, "_result", None)
+        if result is None:
+            continue
+        stamped = getattr(result, "stamped_epoch", None)
+        stamp = stamped() if callable(stamped) else None
+        if stamp is not None and stamp != expected_epoch:
+            diagnostics.append(
+                Diagnostic(
+                    "PLAN016",
+                    Severity.ERROR,
+                    f"cached scan result is stamped with epoch {stamp} but "
+                    f"the database is at epoch {expected_epoch}",
+                    subject=_label(node),
+                )
+            )
+
+
 # ----------------------------------------------------------------------
 # Public entry points
 # ----------------------------------------------------------------------
-def verify_plan(root: Operator, *, streaming: bool = False) -> List[Diagnostic]:
+def verify_plan(
+    root: Operator,
+    *,
+    streaming: bool = False,
+    expected_epoch: Optional[int] = None,
+) -> List[Diagnostic]:
     """Statically verify an operator DAG; return all findings (never raises).
 
     ``streaming=True`` additionally applies the streaming-face shape checks
     (PLAN011/PLAN012) — use it for plans meant to run on
     :meth:`~repro.evaluation.operators.Operator.iter_rows`.
+    ``expected_epoch`` (when given) additionally checks every scan node's
+    cached result against the database mutation epoch (PLAN016) — the
+    query-service layer passes its database's current epoch here.
     """
     nodes, diagnostics = _collect(root)
     for node in nodes:
@@ -754,6 +795,8 @@ def verify_plan(root: Operator, *, streaming: bool = False) -> List[Diagnostic]:
     _check_bag_tree_sync(nodes, diagnostics)
     if streaming:
         _check_streaming(root, nodes, diagnostics)
+    if expected_epoch is not None:
+        _check_epochs(nodes, expected_epoch, diagnostics)
     return diagnostics
 
 

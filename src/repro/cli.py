@@ -15,6 +15,12 @@ of :mod:`repro.parser`:
 * ``repro explain``     — print the chosen physical plan with estimated
   vs. observed cardinalities per operator (the EXPLAIN of the
   operator IR); ``--verify`` appends the static plan verifier's verdict;
+* ``repro serve``       — drive a long-lived :class:`repro.service
+  .QueryService` from a session script interleaving ``? query`` reads with
+  ``+ atom`` / ``- atom`` writes; post-write queries are answered through
+  the scan cache's incremental delta-merge path and the final counters
+  (``delta_merges``, ``plan_hits``, …) make the amortisation visible.
+  ``--verify`` audits the service's cache invariants (``SVC*``);
 * ``repro check``       — static analysis only: run the workload analyzer
   (``WKL*`` diagnostics) over the query/dependencies and, with ``--data``,
   the plan verifier (``PLAN*``) over the plans the router would emit.
@@ -249,6 +255,74 @@ def _cmd_evaluate(args: argparse.Namespace, out: IO[str]) -> int:
         rendered = ", ".join(str(term) for term in answer)
         print(f"({rendered})", file=out)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out: IO[str]) -> int:
+    """Drive a long-lived :class:`repro.service.QueryService` from a script.
+
+    The session file interleaves reads and writes against one standing
+    service — one operation per line, ``%`` comments allowed::
+
+        ? q(x, z) :- E(x, y), E(y, z)   % submit a query, print its answers
+        + E(4, 5)                        % insert a fact (epoch-bumping)
+        - E(1, 2)                        % delete a fact
+
+    Queries after a write are answered through the scan cache's delta-merge
+    path (no rebuild); the final counter block makes that observable.
+    """
+    from .service import QueryService
+
+    database = load_database(args.data)
+    dependencies = load_dependencies(args.constraints, args.dependency)
+    tgds, _ = _split_dependencies(dependencies)
+    service = QueryService(database)
+    text = Path(args.session).read_text(encoding="utf-8")
+    for raw_line in text.splitlines():
+        line = raw_line.split("%", 1)[0].strip()
+        if not line:
+            continue
+        op, _, rest = line.partition(" ")
+        rest = rest.strip().rstrip(".")
+        if op == "?":
+            query = parse_query(rest)
+            answers = sorted(
+                service.stream(
+                    query, tgds=tgds, limit=args.limit, backend=args.backend
+                ),
+                key=str,
+            )
+            print(f"? {query}", file=out)
+            print(f"answers: {len(answers)}", file=out)
+            for answer in answers:
+                rendered = ", ".join(str(term) for term in answer)
+                print(f"({rendered})", file=out)
+        elif op == "+":
+            atom = parse_atom(rest)
+            outcome = "added" if service.insert(atom) else "already present"
+            print(f"+ {atom}: {outcome}", file=out)
+        elif op == "-":
+            atom = parse_atom(rest)
+            outcome = "removed" if service.delete(atom) else "absent"
+            print(f"- {atom}: {outcome}", file=out)
+        else:
+            raise SystemExit(
+                f"unknown session line {raw_line!r} "
+                "(use '? <query>', '+ <atom>', or '- <atom>')"
+            )
+    status = 0
+    if args.verify:
+        diagnostics = service.verify()
+        if diagnostics:
+            print(f"verification: {len(diagnostics)} diagnostic(s)", file=out)
+            for diagnostic in diagnostics:
+                print(f"  {diagnostic.render()}", file=out)
+            if any(d.severity.name == "ERROR" for d in diagnostics):
+                status = 2
+        else:
+            print("verification: clean", file=out)
+    for name, value in service.counters().items():
+        print(f"{name}: {value}", file=out)
+    return status
 
 
 def _verification_lines(evaluator: YannakakisEvaluator) -> List[str]:
@@ -513,6 +587,50 @@ def build_parser() -> argparse.ArgumentParser:
         "variable, else tuple)",
     )
     explain_parser.set_defaults(handler=_cmd_explain)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="drive a long-lived QueryService from a session script of "
+        "'? query' / '+ atom' / '- atom' lines",
+    )
+    serve_parser.add_argument("--data", required=True, help="data file (one atom per line)")
+    serve_parser.add_argument(
+        "--session",
+        required=True,
+        help="session script: one operation per line — '? <query>' submits, "
+        "'+ <atom>' inserts, '- <atom>' deletes ('%%' comments allowed)",
+    )
+    serve_parser.add_argument(
+        "--constraints", help="file of dependencies, one per line"
+    )
+    serve_parser.add_argument(
+        "--dependency",
+        action="append",
+        default=[],
+        metavar="DEP",
+        help="inline dependency (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-query answer cap (the service's backpressure knob)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=("tuple", "columnar"),
+        default=None,
+        help="execution backend (default: the REPRO_BACKEND environment "
+        "variable, else tuple)",
+    )
+    serve_parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit the service's cache invariants (SVC diagnostics) after "
+        "the session; exit 2 on errors",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     check_parser = subparsers.add_parser(
         "check",

@@ -28,18 +28,82 @@ class Instance:
     The class behaves like a set of :class:`Atom` (iteration, ``in``,
     ``len``) but also maintains an index from predicates to atoms and from
     terms to atoms, which the homomorphism search and the chase rely on.
+
+    Every *effective* mutation (an ``add`` of a new atom, a ``discard`` of a
+    present one) advances :attr:`mutation_epoch` and is appended to a
+    bounded journal, so epoch-aware caches (:class:`repro.evaluation.batch
+    .ScanCache`, :class:`repro.evaluation.operators.Statistics`) can detect
+    staleness in O(1) and absorb the exact delta via :meth:`journal_since`
+    instead of rebuilding from scratch.
     """
+
+    #: Retained journal entries.  The journal is trimmed in chunks once it
+    #: exceeds twice this limit; a cache that fell further behind than the
+    #: retained window learns so via ``journal_since() is None`` and
+    #: rebuilds wholesale.
+    JOURNAL_LIMIT = 4096
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         self._atoms: Set[Atom] = set()
         self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
         self._by_term: Dict[GroundTerm, Set[Atom]] = defaultdict(set)
+        self._mutation_epoch = 0
+        self._journal: List[Tuple[bool, Atom]] = []
+        self._journal_base = 0
+        self._content_token: Optional[object] = None
         for atom in atoms:
             self.add(atom)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of effective mutations (adds and removals)."""
+        return self._mutation_epoch
+
+    def content_token(self) -> object:
+        """An identity token shared by fact-identical instances (O(1)).
+
+        The token is refreshed lazily after every mutation and propagated by
+        :meth:`copy`, so ``a.content_token() is b.content_token()`` implies
+        ``a`` and ``b`` hold exactly the same atoms — the O(1) test the scan
+        layer uses to accept fact-identical copies.  (The converse does not
+        hold: independently built equal instances carry distinct tokens.)
+        """
+        token = self._content_token
+        if token is None:
+            token = object()
+            self._content_token = token
+        return token
+
+    def _record_mutation(self, added: bool, atom: Atom) -> None:
+        self._mutation_epoch += 1
+        self._content_token = None
+        journal = self._journal
+        journal.append((added, atom))
+        if len(journal) > 2 * self.JOURNAL_LIMIT:
+            drop = len(journal) - self.JOURNAL_LIMIT
+            del journal[:drop]
+            self._journal_base += drop
+
+    def journal_since(self, epoch: int) -> Optional[List[Tuple[bool, Atom]]]:
+        """The effective mutations after ``epoch``, oldest first.
+
+        Each entry is ``(added, atom)`` with ``added`` true for an insertion
+        and false for a removal; entries are *effective* (an ``add`` of a
+        present atom or a ``discard`` of an absent one never appears), so
+        consecutive entries for one atom always alternate.  Returns ``None``
+        when the requested window was trimmed away (or ``epoch`` is ahead of
+        this instance) — the caller must then resynchronise wholesale.
+        """
+        if epoch > self._mutation_epoch:
+            return None
+        start = epoch - self._journal_base
+        if start < 0:
+            return None
+        return self._journal[start:]
+
     def add(self, atom: Atom) -> bool:
         """Add ``atom``; return ``True`` iff it was not already present.
 
@@ -54,6 +118,7 @@ class Instance:
         self._by_predicate[atom.predicate].add(atom)
         for term in atom.terms:
             self._by_term[term].add(atom)
+        self._record_mutation(True, atom)
         return True
 
     def add_all(self, atoms: Iterable[Atom]) -> int:
@@ -72,6 +137,7 @@ class Instance:
                 del self._by_term[term]
         if not self._by_predicate[atom.predicate]:
             del self._by_predicate[atom.predicate]
+        self._record_mutation(False, atom)
         return True
 
     # ------------------------------------------------------------------
@@ -119,6 +185,10 @@ class Instance:
         clone._by_term = defaultdict(set)
         for term, atoms in self._by_term.items():
             clone._by_term[term] = set(atoms)
+        clone._mutation_epoch = self._mutation_epoch
+        clone._content_token = self.content_token()
+        clone._journal = []
+        clone._journal_base = self._mutation_epoch
         return clone
 
     # ------------------------------------------------------------------

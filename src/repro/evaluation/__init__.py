@@ -52,7 +52,7 @@ from .operators import (
     Statistics,
     render_plan,
 )
-from .batch import BatchEvaluator, ScanCache, atom_signature
+from .batch import BatchEvaluator, CacheBindingError, ScanCache, atom_signature
 from .yannakakis import (
     AcyclicityRequired,
     YannakakisEvaluator,
@@ -101,6 +101,7 @@ from .semacyclic_eval import (
     membership_via_cover_game_egds,
     membership_via_cover_game_guarded,
     resolve_route,
+    service_enabled,
 )
 
 __all__ = [
@@ -108,6 +109,7 @@ __all__ = [
     "BACKENDS",
     "BagNode",
     "BatchEvaluator",
+    "CacheBindingError",
     "CardinalityEstimate",
     "CostModel",
     "CoverEngine",
@@ -176,4 +178,5 @@ __all__ = [
     "resolve_backend",
     "resolve_planner",
     "resolve_route",
+    "service_enabled",
 ]

@@ -56,7 +56,7 @@ from .join_plans import (
     iter_with_plan,
     resolve_planner,
 )
-from .relation import Relation, Row, ScanProvider, compile_scan_pattern
+from .relation import Relation, Row, ScanPattern, ScanProvider, compile_scan_pattern
 from .yannakakis import YannakakisEvaluator
 
 
@@ -66,6 +66,19 @@ SignatureSlot = Tuple[str, Union[Constant, int]]
 
 #: A scan signature: the predicate plus one slot per position.
 ScanSignature = Tuple[Predicate, Tuple[SignatureSlot, ...]]
+
+
+class CacheBindingError(ValueError):
+    """A scan was requested against an instance the cache is not bound to.
+
+    A :class:`ScanCache` serves exactly one database.  Passing a *different*
+    instance to :meth:`ScanCache.scan` is accepted only when it is provably
+    fact-identical to the bound one (it shares the bound database's content
+    token, as :meth:`repro.datamodel.instance.Instance.copy` arranges);
+    anything else raises this error rather than silently serving another
+    instance's rows.  Distinct from the generic :class:`ValueError` so
+    callers holding copies can catch exactly the binding failure.
+    """
 
 
 def atom_signature(atom: Atom) -> Tuple[ScanSignature, Tuple[Variable, ...]]:
@@ -115,6 +128,20 @@ class ScanCache:
     by one query are reused by the rest of the batch.  The counters
     ``served``/``built``/``base_scans`` make the amortisation observable for
     tests and benchmarks.
+
+    The cache is *epoch-aware*: it tracks the bound database's
+    :attr:`~repro.datamodel.instance.Instance.mutation_epoch` and, instead
+    of going stale (or being thrown away) when the database mutates, it
+    absorbs the mutations incrementally.  :meth:`sync` replays the
+    database's journal into per-signature *pending delta* lists; the first
+    access to a cached scan after a mutation merges its pending delta into
+    the cached rows and partitions in place (:meth:`Relation.apply_delta`,
+    ``O(delta)``), re-stamps the relation with the current epoch, and counts
+    a ``delta_merges``.  Only when the journal window was trimmed away does
+    the cache fall back to dropping everything (``full_rebuilds``).  The
+    :class:`TermEncoder` is append-only throughout: deletions may strand
+    term codes, which is harmless for correctness and auditable via
+    :meth:`dead_codes`.
     """
 
     def __init__(self, database: Instance) -> None:
@@ -122,15 +149,22 @@ class ScanCache:
         #: The dictionary encoder of the columnar backend.  Owned here so
         #: encodings — like scans and partitions — amortise across every
         #: evaluation sharing the cache (``ExecutionContext`` picks it up
-        #: via the scan provider).
+        #: via the scan provider).  Append-only across mutations: deleted
+        #: facts never retract codes (see :meth:`dead_codes`).
         self.encoder = TermEncoder()
-        # Cheap staleness guard: a cache is bound to one database *state*.
-        # Identity catches a different Instance; the size snapshot catches
-        # the common in-place mutation (adding/removing facts).  Mutations
-        # that keep the size constant are on the caller — the documented
-        # discipline is: don't mutate the database while a cache is live.
-        self._database_size = len(database)
+        # Epoch the cached scans reflect.  Every entry point calls sync(),
+        # which is O(1) while the database is unchanged and otherwise
+        # replays the journal into per-signature pending deltas.
+        self._synced_epoch = getattr(database, "mutation_epoch", 0)
         self._scans: Dict[ScanSignature, Relation] = {}
+        #: Compiled match/project plans per cached signature, kept so journal
+        #: replay can route each mutated fact to the signatures it affects.
+        self._patterns: Dict[ScanSignature, ScanPattern] = {}
+        #: Projected journal entries awaiting their merge, per signature:
+        #: ``(added, projected row)`` in journal order.  Invariant (checked
+        #: by :meth:`verify_epochs`): a cached relation is stamped with an
+        #: epoch older than ``_synced_epoch`` iff its pending delta is here.
+        self._pending: Dict[ScanSignature, List[Tuple[bool, Row]]] = {}
         #: Scan requests answered (cache hits + misses).
         self.served = 0
         #: Distinct signatures materialised (cache misses).  Maintained by
@@ -138,36 +172,160 @@ class ScanCache:
         self.built = 0
         #: Full passes over a predicate's facts (base-relation builds).
         self.base_scans = 0
+        #: Cached scans brought up to date by an in-place delta merge.
+        self.delta_merges = 0
+        #: Wholesale cache drops (journal window trimmed away).
+        self.full_rebuilds = 0
+        #: Dead-code audit sweeps run (see :meth:`dead_codes`).
+        self.dead_code_sweeps = 0
 
+    # ------------------------------------------------------------------
+    # Epoch synchronisation
+    # ------------------------------------------------------------------
+    def current_epoch(self) -> int:
+        """The database mutation epoch the cached scans reflect."""
+        return self._synced_epoch
+
+    def sync(self) -> None:
+        """Bring the cache's view of the database up to the current epoch.
+
+        ``O(1)`` when the database did not mutate since the last call.
+        Otherwise the database journal since the last synced epoch is
+        replayed: each mutated fact is matched against every cached
+        signature over its predicate and the projected row is queued in that
+        signature's pending delta (merged lazily, on the signature's next
+        scan).  Cached scans over *unmutated* predicates are simply
+        re-stamped.  If the journal window was trimmed away (more than
+        :attr:`~repro.datamodel.instance.Instance.JOURNAL_LIMIT` mutations
+        behind), the cache drops all scans and rebuilds on demand.
+        """
+        current = getattr(self.database, "mutation_epoch", 0)
+        if current == self._synced_epoch:
+            return
+        journal_since = getattr(self.database, "journal_since", None)
+        journal = journal_since(self._synced_epoch) if journal_since else None
+        if journal is None:
+            self._scans.clear()
+            self._patterns.clear()
+            self._pending.clear()
+            self.full_rebuilds += 1
+            self._synced_epoch = current
+            return
+        by_predicate: Dict[Predicate, List[Tuple[bool, Atom]]] = {}
+        for added, fact in journal:
+            by_predicate.setdefault(fact.predicate, []).append((added, fact))
+        for signature, relation in self._scans.items():
+            entries = by_predicate.get(signature[0])
+            if not entries:
+                relation.stamp_epoch(current)
+                continue
+            pattern = self._patterns.get(signature)
+            if pattern is None:
+                pattern = compile_scan_pattern([value for _, value in signature[1]])
+                self._patterns[signature] = pattern
+            pending = self._pending.setdefault(signature, [])
+            for added, fact in entries:
+                if pattern.matches(fact.terms):
+                    pending.append((added, pattern.project(fact.terms)))
+            if not pending:  # nothing survived the signature's selections
+                del self._pending[signature]
+                relation.stamp_epoch(current)
+        self._synced_epoch = current
+
+    def _absorb(self, signature: ScanSignature, relation: Relation) -> None:
+        """Merge ``signature``'s pending delta into its cached relation.
+
+        The pending entries are normalised to net inserted/deleted row sets
+        first.  This is sound because the journal is *effective* (entries
+        for one fact alternate add/remove) and the signature projection is
+        injective on matching facts — constants and repeated positions are
+        recoverable from the projected row — so the projected entries
+        alternate exactly like the facts they came from.
+        """
+        pending = self._pending.pop(signature, None)
+        if pending is None:
+            return
+        inserted: Set[Row] = set()
+        deleted: Set[Row] = set()
+        for added, row in pending:
+            if added:
+                if row in deleted:
+                    deleted.discard(row)
+                else:
+                    inserted.add(row)
+            else:
+                if row in inserted:
+                    inserted.discard(row)
+                else:
+                    deleted.add(row)
+        relation.apply_delta(inserted, deleted)
+        relation.stamp_epoch(self._synced_epoch)
+        self.delta_merges += 1
+
+    def verify_epochs(self) -> List[Tuple[ScanSignature, Optional[int], int]]:
+        """Audit the epoch stamps of every cached scan (for the verifier).
+
+        Returns ``(signature, stamped epoch, expected epoch)`` for every
+        cached relation violating the sync invariant: a stamp *ahead* of the
+        synced epoch, or a stamp behind it without a pending delta to close
+        the gap.  Empty on a healthy cache.
+        """
+        issues: List[Tuple[ScanSignature, Optional[int], int]] = []
+        for signature, relation in self._scans.items():
+            stamp = relation.stamped_epoch()
+            if stamp == self._synced_epoch:
+                continue
+            if stamp is None or stamp > self._synced_epoch or signature not in self._pending:
+                issues.append((signature, stamp, self._synced_epoch))
+        return issues
+
+    def dead_codes(self) -> int:
+        """Count encoder codes whose term left the database (audit sweep).
+
+        The encoder is append-only — deletions strand codes rather than
+        retracting them, keeping every cached encoded store valid — so this
+        sweep exists to make the drift observable.  Terms encoded from query
+        constants that never occurred in the database also count as dead.
+        ``O(encoded terms)``; bumps ``dead_code_sweeps``.
+        """
+        self.dead_code_sweeps += 1
+        return self.encoder.dead_codes(self.database.active_domain())
+
+    # ------------------------------------------------------------------
     def scan(self, atom: Atom, database: Optional[Instance] = None) -> Relation:
         """The relation of ``atom`` over the cache's database.
 
         Amortised cost: ``O(arity)`` after the first request for the atom's
-        signature (see the class docstring for the miss costs).
+        signature (see the class docstring for the miss costs), plus — only
+        on the first access after database mutations — the :meth:`sync`
+        journal replay and an ``O(delta)`` merge.  Mutating the bound
+        database between scans is fully supported; answers always reflect
+        the database's current facts.
 
         Raises:
-            ValueError: if ``database`` is given and is not the instance the
-                cache was built for, or if the bound database changed size
-                since the cache was built.  (Size-preserving in-place
-                mutation is not detectable in O(1); the contract is that the
-                database is not mutated while a cache is live.)
+            CacheBindingError: if ``database`` is given and is neither the
+                bound instance nor a fact-identical copy of it (one sharing
+                the bound database's content token).
         """
         if database is not None and database is not self.database:
-            raise ValueError(
-                "ScanCache is bound to one database; build a new cache for "
-                "a different instance"
-            )
-        if len(self.database) != self._database_size:
-            raise ValueError(
-                "the database changed size since this ScanCache was built; "
-                "build a new cache after mutating the database"
-            )
+            ours = getattr(self.database, "content_token", None)
+            theirs = getattr(database, "content_token", None)
+            if ours is None or theirs is None or ours() is not theirs():
+                raise CacheBindingError(
+                    "this ScanCache is bound to a different database instance "
+                    "(and the one passed is not a fact-identical copy of it); "
+                    "build a ScanCache(database) for the instance you are "
+                    "querying, or query through the cache's own database"
+                )
+        self.sync()
         self.served += 1
         signature, variables = atom_signature(atom)
         relation = self._scans.get(signature)
         if relation is None:
             relation = self._materialise(signature)
             self._scans[signature] = relation
+        else:
+            self._absorb(signature, relation)
         return relation.with_schema(variables)
 
     # ------------------------------------------------------------------
@@ -182,9 +340,14 @@ class ScanCache:
             schema = [Variable(f"_s{i}") for i in range(predicate.arity)]
             rows = [fact.terms for fact in self.database.atoms_with_predicate(predicate)]
             relation = Relation(schema, rows)
+            relation.stamp_epoch(self._synced_epoch)
             self._scans[signature] = relation
             self.built += 1
             self.base_scans += 1
+        else:
+            # Derived signatures materialise from the base rows, so the base
+            # must absorb its pending delta before anything reads it.
+            self._absorb(signature, relation)
         return relation
 
     def _materialise(self, signature: ScanSignature) -> Relation:
@@ -224,7 +387,9 @@ class ScanCache:
                 continue
             rows.append(pattern.project(row))
         schema = [Variable(f"_s{i}") for i in range(len(pattern.output_positions))]
-        return Relation(schema, rows)
+        relation = Relation(schema, rows)
+        relation.stamp_epoch(self._synced_epoch)
+        return relation
 
 
 class BatchEvaluator:

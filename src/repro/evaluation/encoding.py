@@ -35,6 +35,7 @@ from __future__ import annotations
 import os
 from array import array
 from typing import (
+    Container,
     Dict,
     Iterable,
     Iterator,
@@ -165,6 +166,16 @@ class TermEncoder:
     def decode_row(self, row: Sequence[int]) -> Row:
         terms = self.terms
         return tuple(terms[code] for code in row)
+
+    def dead_codes(self, live: Container[Term]) -> int:
+        """Count assigned codes whose term is not in ``live``.
+
+        The encoder never retracts codes (append-only keeps every cached
+        encoded store valid), so deletions strand codes over time.  This
+        audit — typically called with the database's active domain — makes
+        the drift observable; ``O(len(self))``.
+        """
+        return sum(1 for term in self.terms if term not in live)
 
 
 class IntIndex:

@@ -909,12 +909,15 @@ class BagNode(Operator):
 class Statistics:
     """Per-database cardinality statistics, computed lazily and cached.
 
-    One instance is bound to one database state (the same immutability
-    discipline as :class:`~repro.evaluation.batch.ScanCache`).  Base
-    relations are served through the optional scan provider — so a batch
-    that already shares a ``ScanCache`` pays nothing extra for planning
-    statistics, and the partitions the planner builds for joint distinct
-    counts are the very partitions the executor later probes — or
+    One instance is bound to one database and tracks its mutation epoch:
+    when the database mutates, the per-predicate relation cache here is
+    dropped on next access and re-requested through the scan provider — so a
+    long-lived :class:`~repro.evaluation.batch.ScanCache` serves the delta-
+    merged relations and planning always sees post-mutation cardinalities.
+    Base relations are served through the optional scan provider — so a
+    batch that already shares a ``ScanCache`` pays nothing extra for
+    planning statistics, and the partitions the planner builds for joint
+    distinct counts are the very partitions the executor later probes — or
     materialised directly (one ``O(|R|)`` pass per predicate, cached here).
 
     The statistics themselves live on the relations:
@@ -930,9 +933,14 @@ class Statistics:
         self.database = database
         self._scans = scans
         self._base: Dict[Predicate, Relation] = {}
+        self._epoch = getattr(database, "mutation_epoch", 0)
 
     def base_relation(self, predicate: Predicate) -> Relation:
-        """The full relation of ``predicate`` (cached)."""
+        """The full relation of ``predicate`` (cached until the DB mutates)."""
+        epoch = getattr(self.database, "mutation_epoch", 0)
+        if epoch != self._epoch:
+            self._base.clear()
+            self._epoch = epoch
         relation = self._base.get(predicate)
         if relation is None:
             atom = Atom(

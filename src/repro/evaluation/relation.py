@@ -29,7 +29,13 @@ the common case when a batch of queries shares base-atom scans through
 :class:`repro.evaluation.batch.ScanCache` — pays the build pass once.  The
 cache assumes the usual immutability discipline: ``rows`` is never mutated
 after the first partition is built (every operator already returns fresh
-relations instead of aliasing inputs).
+relations instead of aliasing inputs).  The single sanctioned exception is
+:meth:`Relation.apply_delta`, which the scan cache uses to absorb database
+mutations *incrementally*: it edits ``rows`` in place, patches every cached
+:class:`Partition` bucket-by-bucket, and drops the derived statistics — so
+cached scans (and all their :meth:`Relation.with_schema` views, which share
+storage by reference) stay correct across inserts and deletes without a
+rebuild.
 """
 
 from __future__ import annotations
@@ -144,7 +150,9 @@ class Partition:
     ``O(rows)`` pass; afterwards a semi-join membership probe is ``O(1)`` and
     a join probe is ``O(bucket)``.  Partitions are built by
     :meth:`Relation.partition` and cached there, so they must never be
-    mutated after construction.
+    mutated after construction — except through the owning relation's
+    :meth:`Relation.apply_delta`, which patches the buckets in place to keep
+    cached partitions synchronised with database mutations.
 
     Bucket probes (:meth:`get` calls) are counted, per instance (``probes``)
     and process-wide (``Partition.total_probes``).  The counters exist so
@@ -340,6 +348,66 @@ class Relation:
             part = Partition(positions, self.rows)
             self._partitions[positions] = part
         return part
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the scan cache's delta-merge path)
+    # ------------------------------------------------------------------
+    def stamp_epoch(self, epoch: int) -> None:
+        """Record the database mutation epoch this relation reflects.
+
+        Stored in ``_stats`` so the stamp — like every positional statistic —
+        is shared by reference across :meth:`with_schema` views: re-stamping
+        a cached scan re-stamps every view of it at once.
+        """
+        self._stats["epoch"] = epoch
+
+    def stamped_epoch(self) -> Optional[int]:
+        """The stamped mutation epoch, or ``None`` if never stamped."""
+        epoch = self._stats.get("epoch")
+        return epoch if isinstance(epoch, int) else None
+
+    def apply_delta(self, inserted: Iterable[Row], deleted: Iterable[Row]) -> None:
+        """Absorb row insertions and deletions *in place* (delta merge).
+
+        This is the one sanctioned mutation of a relation's row storage: the
+        scan cache calls it to bring a cached scan up to date with database
+        mutations without rebuilding.  Rows are edited in place (so every
+        :meth:`with_schema` view sharing the storage stays fresh), every
+        cached :class:`Partition` is patched bucket-by-bucket (``O(delta)``
+        amortised, not ``O(rows)``), and the derived statistics — distinct
+        counts, pair sketches, the encoded column store — are dropped for
+        lazy recomputation on next use.  Callers guarantee ``inserted`` rows
+        are not already present and ``deleted`` rows are (the scan cache's
+        journal replay normalises deltas to this form).
+        """
+        inserted = list(inserted)
+        dead = set(deleted)
+        if not inserted and not dead:
+            return
+        if dead:
+            self.rows[:] = [row for row in self.rows if row not in dead]
+        self.rows.extend(inserted)
+        for partition in self._partitions.values():
+            positions = partition.positions
+            buckets = partition.buckets
+            for row in dead:
+                key = tuple(row[p] for p in positions)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    continue
+                try:
+                    bucket.remove(row)
+                except ValueError:
+                    continue
+                if not bucket:
+                    del buckets[key]
+            for row in inserted:
+                key = tuple(row[p] for p in positions)
+                buckets.setdefault(key, []).append(row)
+        epoch = self._stats.get("epoch")
+        self._stats.clear()
+        if epoch is not None:
+            self._stats["epoch"] = epoch
 
     # ------------------------------------------------------------------
     # Cached statistics (the substrate of the operator-IR cost model)

@@ -29,6 +29,7 @@ cardinalities next to the executed, observed ones.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -49,6 +50,24 @@ from .yannakakis import AcyclicityRequired, YannakakisEvaluator
 
 class NotSemanticallyAcyclic(ValueError):
     """Raised when a reformulation-based evaluator gets a non-reformulable query."""
+
+
+#: Environment variable routing the one-shot entry points through the
+#: long-lived :class:`repro.service.QueryService` registry.
+SERVICE_ENV = "REPRO_SERVICE"
+
+
+def service_enabled() -> bool:
+    """Whether ``REPRO_SERVICE`` routes evaluation through a shared service.
+
+    When enabled (set to anything but ``""``/``"0"``/``"false"``), calls to
+    :func:`evaluate_iter` and :func:`evaluate_batch` that do *not* supply
+    their own scan provider are served by the per-database
+    :func:`repro.service.shared_service` — so repeated one-shot calls gain
+    the service's epoch-aware scan cache and core-isomorphism plan cache.
+    An explicit ``scans=`` always wins over the service seam.
+    """
+    return os.environ.get(SERVICE_ENV, "").strip().lower() not in ("", "0", "false")
 
 
 @dataclass
@@ -259,7 +278,20 @@ def evaluate_iter(
     :func:`repro.evaluation.encoding.resolve_backend`).  Routing (join
     tree / reformulation search / planning) happens eagerly at call time, so
     route errors surface here rather than at the first ``next()``.
+
+    Under ``REPRO_SERVICE`` (see :func:`service_enabled`) a call without an
+    explicit ``scans=`` is delegated to the per-database
+    :class:`repro.service.QueryService`, gaining its epoch-aware scan cache
+    and plan cache; the stream then raises
+    :class:`repro.service.ConcurrentMutationError` if the database mutates
+    while the generator is open.
     """
+    if scans is None and service_enabled():
+        from ..service import shared_service
+
+        return shared_service(database).stream(
+            query, tgds=tgds, engine=engine, limit=limit, backend=backend
+        )
     route, evaluator = resolve_route(query, tgds=tgds, engine=engine)
     if evaluator is not None:  # "yannakakis" and "reformulated"
         return evaluator.iter_answers(
@@ -411,6 +443,10 @@ def evaluate_batch(
             "scans= is meaningless with engine='sequential' (the baseline "
             "shares nothing); drop it or use engine='batch'"
         )
+    if engine == "batch" and scans is None and service_enabled():
+        from ..service import shared_service
+
+        scans = shared_service(database).scans
     batch = BatchEvaluator(queries, tgds=tgds)
     if engine == "batch":
         return batch.evaluate(database, scans=scans, backend=backend)

@@ -1,0 +1,397 @@
+"""A long-lived query service with epoch-aware caches and a plan cache.
+
+Everything else in the repo is one-shot-process: each entry point builds its
+scan cache, statistics, and plan, answers, and throws the lot away.  A
+standing system serving many clients over one mutating database (the
+ROADMAP's query-service arc) needs the opposite: caches that *survive*
+requests and stay correct across writes.  :class:`QueryService` is that
+substrate:
+
+* it owns one epoch-aware :class:`~repro.evaluation.batch.ScanCache` (and
+  its append-only :class:`~repro.evaluation.encoding.TermEncoder`) plus one
+  :class:`~repro.evaluation.operators.Statistics` per database, so scans,
+  partitions, encodings, and planning statistics amortise across *requests*,
+  not just across the queries of one batch;
+
+* writes go through :meth:`insert`/:meth:`delete`, which bump the
+  database's mutation epoch; the scan cache then absorbs the delta
+  incrementally on the next read (see ``ScanCache.sync``) instead of being
+  rebuilt;
+
+* routed plans are cached **by core-isomorphism class**: an incoming query
+  is core-minimised (:func:`repro.queries.core_minimization.core`) and
+  canonically relabelled (:func:`canonical_form`), so the million
+  syntactically distinct variants of one query share a single cached route
+  and compiled evaluator.  Entries are re-planned when the database size
+  drifts past ``replan_drift`` of the size they were planned at;
+
+* :meth:`stream` wraps the streaming evaluators with an epoch guard: an
+  open answer stream observes a concurrent write *before the next pull*
+  and raises :class:`ConcurrentMutationError` instead of mixing pre- and
+  post-mutation answers.
+
+The one-shot entry points (:func:`repro.evaluation.semacyclic_eval
+.evaluate_iter`/``evaluate_batch``) route through :func:`shared_service`
+when the ``REPRO_SERVICE`` environment variable is set, which is how the
+whole test suite can run through the service layer (the ``tier1-service``
+CI job).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .analysis.diagnostics import Diagnostic, Severity
+from .datamodel import Atom, Instance, Term, Variable
+from .dependencies.tgd import TGD
+from .evaluation.batch import ScanCache
+from .evaluation.join_plans import evaluate_with_plan, iter_with_plan
+from .evaluation.operators import Statistics
+from .queries.core_minimization import core
+from .queries.cq import ConjunctiveQuery
+
+
+class ConcurrentMutationError(RuntimeError):
+    """An open answer stream observed a database mutation.
+
+    Raised by the generators returned from :meth:`QueryService.stream` when
+    the database's mutation epoch changed between pulls: the stream's scans
+    and partitions reflect the epoch it was opened at, so continuing would
+    interleave pre- and post-mutation answers.  Re-submit the query to
+    stream against the current state.
+    """
+
+
+#: Existential-variable count up to which canonicalisation searches all
+#: permutations for the lexicographically minimal relabelling (6! = 720
+#: candidates).  Above it a deterministic name-ordered relabelling is used:
+#: still sound (equal canonical forms are isomorphic) but it may miss
+#: sharing between variants that differ in variable naming order.
+CANONICAL_PERMUTE_LIMIT = 6
+
+
+def canonical_form(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """A canonical representative of ``query``'s variable-isomorphism class.
+
+    Head variables are relabelled ``_h0, _h1, ...`` in order of first head
+    occurrence — head *positions* are untouched, so the canonical query's
+    answer tuples equal the original's positionally.  Existential variables
+    are relabelled ``_e0, _e1, ...`` by exhaustive permutation search
+    minimising the sorted body-atom strings (up to
+    :data:`CANONICAL_PERMUTE_LIMIT` existential variables; a deterministic
+    fallback beyond).  Constants are left untouched.
+
+    Two queries that are variable-renamings of each other map to *equal*
+    canonical forms (below the permutation limit), which is exactly the
+    granularity of the service's plan cache; combined with
+    :func:`~repro.queries.core_minimization.core` this collapses whole
+    core-isomorphism classes onto one cache entry.
+    """
+    head_mapping: Dict[Term, Term] = {}
+    for variable in query.head:
+        if variable not in head_mapping:
+            head_mapping[variable] = Variable(f"_h{len(head_mapping)}")
+    existential = sorted(
+        (v for v in query.variables() if v not in head_mapping), key=str
+    )
+    if len(existential) <= CANONICAL_PERMUTE_LIMIT:
+        best_key: Optional[Tuple[str, ...]] = None
+        best: Optional[ConjunctiveQuery] = None
+        for permutation in itertools.permutations(range(len(existential))):
+            mapping = dict(head_mapping)
+            for variable, index in zip(existential, permutation):
+                mapping[variable] = Variable(f"_e{index}")
+            candidate = query.apply(mapping, name=query.name)
+            key = tuple(sorted(str(atom) for atom in candidate.body))
+            if best_key is None or key < best_key:
+                best_key, best = key, candidate
+        assert best is not None  # permutations() yields >= 1 candidate
+        return best
+    mapping = dict(head_mapping)
+    for index, variable in enumerate(existential):
+        mapping[variable] = Variable(f"_e{index}")
+    return query.apply(mapping, name=query.name)
+
+
+#: A plan-cache key: the canonical core's head and body, plus the routing
+#: inputs that shape the plan (tgds and the forced engine).
+PlanKey = Tuple[
+    Tuple[Variable, ...], frozenset, Tuple[TGD, ...], str
+]
+
+
+@dataclass
+class _PlanEntry:
+    """One cached route: the canonical core plus its compiled evaluator."""
+
+    kind: str
+    evaluator: Optional[object]  # YannakakisEvaluator-shaped, or None ("plan")
+    query: ConjunctiveQuery  # the canonical core the route was compiled for
+    planned_epoch: int
+    planned_size: int
+
+
+class QueryService:
+    """A standing evaluation service over one mutable database.
+
+    See the module docstring for the design; the public surface is
+    :meth:`submit` (materialised answers), :meth:`stream` (epoch-guarded
+    generator with per-client ``limit=`` backpressure), :meth:`insert` /
+    :meth:`delete` (the write path), and :meth:`verify` (SVC diagnostics).
+    The counters ``plan_hits``/``plan_misses``/``replans``/``writes`` — and
+    the scan cache's own counters — make the amortisation observable.
+    """
+
+    def __init__(self, database: Instance, *, replan_drift: float = 0.3) -> None:
+        self.database = database
+        #: Cached scans/partitions/encodings, kept fresh across writes by
+        #: journal replay + in-place delta merges.
+        self.scans = ScanCache(database)
+        #: Planning statistics, served through the shared scan cache and
+        #: refreshed per mutation epoch.
+        self.statistics = Statistics(database, self.scans)
+        #: Relative database-size drift past which a cached plan is
+        #: re-planned on next use (0.3 = 30%).
+        self.replan_drift = replan_drift
+        self._plans: Dict[PlanKey, _PlanEntry] = {}
+        # Memo from the *raw* request (query, tgds, engine) to its plan key,
+        # so repeat submissions of an already-seen query object skip the
+        # core minimisation + canonicalisation entirely.
+        self._keys: Dict[Tuple[ConjunctiveQuery, Tuple[TGD, ...], str], PlanKey] = {}
+        #: Requests answered from a cached plan entry.
+        self.plan_hits = 0
+        #: Requests that routed + compiled a fresh plan entry.
+        self.plan_misses = 0
+        #: Cached entries discarded for statistics drift.
+        self.replans = 0
+        #: Effective database writes through :meth:`insert`/:meth:`delete`.
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Plan cache
+    # ------------------------------------------------------------------
+    def _drifted(self, entry: _PlanEntry, size: int) -> bool:
+        return abs(size - entry.planned_size) > self.replan_drift * max(
+            entry.planned_size, 1
+        )
+
+    def _entry(
+        self, query: ConjunctiveQuery, tgds: Tuple[TGD, ...], engine: str
+    ) -> _PlanEntry:
+        memo_key = (query, tgds, engine)
+        key = self._keys.get(memo_key)
+        if key is None:
+            canonical = canonical_form(core(query))
+            key = (canonical.head, frozenset(canonical.body), tgds, engine)
+            if len(self._keys) > 1024:  # bound the raw-request memo
+                self._keys.clear()
+            self._keys[memo_key] = key
+        else:
+            canonical = None  # only needed on a miss
+        entry = self._plans.get(key)
+        size = len(self.database)
+        if entry is not None and self._drifted(entry, size):
+            del self._plans[key]
+            self.replans += 1
+            entry = None
+        if entry is not None:
+            self.plan_hits += 1
+            return entry
+        from .evaluation.semacyclic_eval import resolve_route
+
+        if canonical is None:
+            canonical = canonical_form(core(query))
+        kind, evaluator = resolve_route(canonical, tgds=tgds, engine=engine)
+        entry = _PlanEntry(
+            kind,
+            evaluator,
+            canonical,
+            getattr(self.database, "mutation_epoch", 0),
+            size,
+        )
+        self._plans[key] = entry
+        self.plan_misses += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        tgds: Sequence[TGD] = (),
+        engine: str = "auto",
+        backend: Optional[str] = None,
+    ) -> Set[Tuple[Term, ...]]:
+        """The full answer set of ``query`` over the current database state.
+
+        Routed through the plan cache (the canonical core's cached evaluator
+        answers for every isomorphic variant — answer tuples are positional,
+        so they transfer verbatim) and the shared scan cache (mutations since
+        the last request are absorbed incrementally before the scans are
+        served).
+        """
+        entry = self._entry(query, tuple(tgds), engine)
+        if entry.evaluator is not None:  # yannakakis / reformulated / decomposition
+            return entry.evaluator.evaluate(  # type: ignore[attr-defined]
+                self.database, scans=self.scans, backend=backend
+            )
+        return evaluate_with_plan(
+            entry.query, self.database, scans=self.scans, backend=backend
+        )
+
+    def stream(
+        self,
+        query: ConjunctiveQuery,
+        *,
+        tgds: Sequence[TGD] = (),
+        engine: str = "auto",
+        limit: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> Iterator[Tuple[Term, ...]]:
+        """Stream distinct answers with an epoch guard and ``limit=`` cap.
+
+        The returned generator checks the database's mutation epoch before
+        every pull and raises :class:`ConcurrentMutationError` if a write
+        landed since the stream was opened — a client holding a stale
+        half-consumed stream fails loudly instead of silently mixing
+        pre- and post-mutation answers.  ``limit`` is the per-client
+        backpressure knob: at most that many answers are ever computed.
+        """
+        entry = self._entry(query, tuple(tgds), engine)
+        if entry.evaluator is not None:
+            inner = entry.evaluator.iter_answers(  # type: ignore[attr-defined]
+                self.database, scans=self.scans, limit=limit, backend=backend
+            )
+        else:
+            inner = iter_with_plan(
+                entry.query, self.database, scans=self.scans, limit=limit,
+                backend=backend,
+            )
+        opened = getattr(self.database, "mutation_epoch", 0)
+        return self._guarded(inner, opened)
+
+    def _guarded(
+        self, inner: Iterator[Tuple[Term, ...]], opened: int
+    ) -> Iterator[Tuple[Term, ...]]:
+        while True:
+            current = getattr(self.database, "mutation_epoch", 0)
+            if current != opened:
+                raise ConcurrentMutationError(
+                    f"database mutated (epoch {opened} -> {current}) while "
+                    "an answer stream was open; re-submit the query to "
+                    "stream answers over the current state"
+                )
+            try:
+                answer = next(inner)
+            except StopIteration:
+                return
+            yield answer
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def insert(self, atom: Atom) -> bool:
+        """Add ``atom``; return whether it was new.  Epoch-bumping write."""
+        added = self.database.add(atom)
+        if added:
+            self.writes += 1
+        return added
+
+    def delete(self, atom: Atom) -> bool:
+        """Remove ``atom``; return whether it was present.  Epoch-bumping."""
+        removed = self.database.discard(atom)
+        if removed:
+            self.writes += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of the service and scan-cache counters (for the CLI)."""
+        return {
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "replans": self.replans,
+            "writes": self.writes,
+            "scans_served": self.scans.served,
+            "scans_built": self.scans.built,
+            "delta_merges": self.scans.delta_merges,
+            "full_rebuilds": self.scans.full_rebuilds,
+        }
+
+    def verify(self) -> List[Diagnostic]:
+        """Audit the service's cache invariants (SVC001/SVC002).
+
+        SVC001 (ERROR): a cached scan's epoch stamp disagrees with the scan
+        cache's synced epoch without a pending delta to close the gap — the
+        stale-answer condition the epoch machinery must make impossible.
+        SVC002 (WARNING): a cached plan's planning-time statistics drifted
+        past ``replan_drift`` (it will be re-planned on next use).
+        """
+        self.scans.sync()
+        diagnostics: List[Diagnostic] = []
+        for signature, stamp, expected in self.scans.verify_epochs():
+            predicate = signature[0]
+            diagnostics.append(
+                Diagnostic(
+                    "SVC001",
+                    Severity.ERROR,
+                    f"cached scan over {predicate.name} is stamped with "
+                    f"epoch {stamp} but the cache is synced at {expected} "
+                    "with no pending delta",
+                    subject=f"scan:{predicate.name}",
+                )
+            )
+        size = len(self.database)
+        for entry in self._plans.values():
+            if self._drifted(entry, size):
+                diagnostics.append(
+                    Diagnostic(
+                        "SVC002",
+                        Severity.WARNING,
+                        f"plan for {entry.query.name} was planned at database "
+                        f"size {entry.planned_size}, size is now {size} "
+                        f"(drift threshold {self.replan_drift:.0%}); it will "
+                        "be re-planned on next use",
+                        subject=f"plan:{entry.query.name}",
+                    )
+                )
+        return diagnostics
+
+
+# ----------------------------------------------------------------------
+# The per-database service registry (the REPRO_SERVICE seam)
+# ----------------------------------------------------------------------
+#: Most-recently-used bound on live services (each pins its database).
+SERVICE_REGISTRY_LIMIT = 64
+
+_services: "OrderedDict[int, QueryService]" = OrderedDict()
+
+
+def shared_service(database: Instance) -> QueryService:
+    """The process-wide :class:`QueryService` for ``database`` (LRU-bounded).
+
+    Keyed by object identity — the service's caches follow the instance's
+    own mutation epochs, so two equal-but-distinct instances must not share
+    one.  (The registry holds strong references, which is what makes the
+    ``id()`` key safe: a registered database cannot be collected and its id
+    recycled while its entry lives.)  The least recently used service is
+    dropped beyond :data:`SERVICE_REGISTRY_LIMIT`.
+    """
+    key = id(database)
+    service = _services.get(key)
+    if service is not None and service.database is database:
+        _services.move_to_end(key)
+        return service
+    service = QueryService(database)
+    _services[key] = service
+    _services.move_to_end(key)
+    while len(_services) > SERVICE_REGISTRY_LIMIT:
+        _services.popitem(last=False)
+    return service

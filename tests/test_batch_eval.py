@@ -260,15 +260,17 @@ class TestScanCache:
         with pytest.raises(ValueError):
             cache.scan(Atom(self.E, (Variable("x"), Variable("y"))), other)
 
-    def test_cache_rejects_mutated_database(self):
-        """Adding a fact after building the cache must not serve stale scans."""
+    def test_cache_absorbs_mutated_database(self):
+        """Mutating the database must be absorbed, not served stale."""
         database = self._database()
         cache = ScanCache(database)
         atom = Atom(self.E, (Variable("x"), Variable("y")))
-        cache.scan(atom)
-        database.add(Atom(self.E, (Constant("fresh"), Constant("fresh"))))
-        with pytest.raises(ValueError):
-            cache.scan(atom)
+        before = set(cache.scan(atom).rows)
+        fresh = Atom(self.E, (Constant("fresh"), Constant("fresh")))
+        database.add(fresh)
+        after = set(cache.scan(atom).rows)
+        assert after == before | {fresh.terms}
+        assert cache.delta_merges == 1 and cache.full_rebuilds == 0
 
     def test_missing_predicate_scans_empty(self):
         cache = ScanCache(self._database())

@@ -1,0 +1,294 @@
+"""Epoch-aware caches under in-place mutation: the stale-answer bugfix.
+
+The seed's ``ScanCache`` guarded staleness with an O(1) *size snapshot*, so
+any size-preserving mutation (delete one fact, insert another) silently
+served pre-mutation partitions and answers.  These tests pin the fix:
+
+* ``Instance`` mutation epochs, the bounded journal, and content tokens;
+* the regression itself — a same-size delete+insert must be answered from
+  post-mutation facts (this test fails on the seed);
+* incremental maintenance — cached rows/partitions/encodings are patched by
+  :meth:`Relation.apply_delta` (``delta_merges``), not rebuilt, and every
+  pre-mutation ``with_schema`` view observes the merge (the aliasing audit);
+* the distinct :class:`CacheBindingError` for foreign databases, with
+  fact-identical copies accepted;
+* epoch-aware :class:`Statistics` and the PLAN016 verifier check.
+"""
+
+import pytest
+
+from repro.analysis import Severity, verify_plan
+from repro.datamodel import Atom, Constant, Database, Instance, Predicate, Variable
+from repro.evaluation import (
+    CacheBindingError,
+    ExecutionContext,
+    Relation,
+    Scan,
+    ScanCache,
+    Statistics,
+    YannakakisEvaluator,
+)
+from repro.queries.cq import ConjunctiveQuery
+
+E = Predicate("E", 2)
+F = Predicate("F", 1)
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _edge(a, b):
+    return Atom(E, (Constant(a), Constant(b)))
+
+
+def _chain_db(*pairs):
+    database = Database()
+    for a, b in pairs:
+        database.add(_edge(a, b))
+    return database
+
+
+# ----------------------------------------------------------------------
+# Instance: epochs, journal, content tokens
+# ----------------------------------------------------------------------
+class TestInstanceEpochs:
+    def test_epoch_counts_effective_mutations_only(self):
+        database = Database()
+        assert database.mutation_epoch == 0
+        assert database.add(_edge(1, 2))
+        assert database.mutation_epoch == 1
+        assert not database.add(_edge(1, 2))  # already present: no epoch
+        assert database.mutation_epoch == 1
+        assert database.discard(_edge(1, 2))
+        assert database.mutation_epoch == 2
+        assert not database.discard(_edge(1, 2))  # absent: no epoch
+        assert database.mutation_epoch == 2
+
+    def test_journal_since_replays_effective_mutations(self):
+        database = _chain_db((1, 2))
+        epoch = database.mutation_epoch
+        database.add(_edge(2, 3))
+        database.discard(_edge(1, 2))
+        journal = database.journal_since(epoch)
+        assert journal == [(True, _edge(2, 3)), (False, _edge(1, 2))]
+        assert database.journal_since(database.mutation_epoch) == []
+
+    def test_journal_since_is_none_beyond_the_window(self):
+        database = Database()
+        assert database.journal_since(database.mutation_epoch + 1) is None
+
+    def test_journal_trims_in_chunks(self, monkeypatch):
+        monkeypatch.setattr(Instance, "JOURNAL_LIMIT", 4)
+        database = Database()
+        for i in range(2 * 4 + 1):  # one past the 2*limit trim trigger
+            database.add(Atom(F, (Constant(i),)))
+        assert database.journal_since(0) is None  # oldest entries dropped
+        recent = database.journal_since(database.mutation_epoch - 2)
+        assert recent is not None and len(recent) == 2
+
+    def test_copy_shares_content_token_until_either_mutates(self):
+        database = _chain_db((1, 2))
+        clone = database.copy()
+        assert database.content_token() is clone.content_token()
+        assert clone.mutation_epoch == database.mutation_epoch
+        clone.add(_edge(9, 9))
+        assert database.content_token() is not clone.content_token()
+        other = database.copy()
+        database.add(_edge(8, 8))
+        assert database.content_token() is not other.content_token()
+
+
+# ----------------------------------------------------------------------
+# The regression: same-size mutation must not be served stale
+# ----------------------------------------------------------------------
+class TestStaleAnswerRegression:
+    def test_same_size_delete_insert_serves_fresh_rows(self):
+        """The seed's size snapshot cannot see this mutation; epochs can."""
+        database = _chain_db((1, 2), (2, 3))
+        cache = ScanCache(database)
+        atom = Atom(E, (x, y))
+        assert set(cache.scan(atom).rows) == {
+            (Constant(1), Constant(2)),
+            (Constant(2), Constant(3)),
+        }
+        database.discard(_edge(1, 2))
+        database.add(_edge(7, 8))  # |D| unchanged
+        assert set(cache.scan(atom).rows) == {
+            (Constant(2), Constant(3)),
+            (Constant(7), Constant(8)),
+        }
+        assert cache.delta_merges == 1
+        assert cache.full_rebuilds == 0
+
+    def test_same_size_mutation_end_to_end_through_an_evaluator(self):
+        """Whole-query answers over a shared cache follow the mutation."""
+        database = _chain_db((1, 2), (2, 3))
+        cache = ScanCache(database)
+        query = ConjunctiveQuery((x, z), [Atom(E, (x, y)), Atom(E, (y, z))])
+        evaluator = YannakakisEvaluator(query)
+        assert evaluator.evaluate(database, scans=cache) == {
+            (Constant(1), Constant(3))
+        }
+        database.discard(_edge(1, 2))
+        database.add(_edge(3, 4))  # |D| unchanged, answers entirely different
+        assert evaluator.evaluate(database, scans=cache) == {
+            (Constant(2), Constant(4))
+        }
+
+    def test_constant_anchored_signatures_absorb_their_delta(self):
+        database = _chain_db((1, 2), (1, 3), (2, 4))
+        cache = ScanCache(database)
+        anchored = Atom(E, (Constant(1), y))
+        assert len(cache.scan(anchored)) == 2
+        database.add(_edge(1, 9))
+        database.add(_edge(5, 6))  # does not match the anchored signature
+        scanned = cache.scan(anchored)
+        assert set(scanned.rows) == {(Constant(2),), (Constant(3),), (Constant(9),)}
+
+    def test_journal_overflow_falls_back_to_full_rebuild(self, monkeypatch):
+        monkeypatch.setattr(Instance, "JOURNAL_LIMIT", 2)
+        database = _chain_db((1, 2))
+        cache = ScanCache(database)
+        atom = Atom(E, (x, y))
+        cache.scan(atom)
+        for i in range(10, 16):  # blow past the retained journal window
+            database.add(_edge(i, i + 1))
+        assert len(cache.scan(atom)) == 7
+        assert cache.full_rebuilds == 1
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance: partitions, views, encodings
+# ----------------------------------------------------------------------
+class TestDeltaMerge:
+    def test_cached_partitions_are_patched_in_place(self):
+        database = _chain_db((1, 2), (1, 3), (2, 4))
+        cache = ScanCache(database)
+        relation = cache.scan(Atom(E, (x, y)))
+        partition = relation.partition((x,))
+        database.discard(_edge(1, 2))
+        database.add(_edge(2, 5))
+        merged = cache.scan(Atom(E, (x, y)))
+        # Same partition object, post-mutation buckets.
+        assert merged.partition((x,)) is partition
+        assert set(partition.get((Constant(1),))) == {(Constant(1), Constant(3))}
+        assert set(partition.get((Constant(2),))) == {
+            (Constant(2), Constant(4)),
+            (Constant(2), Constant(5)),
+        }
+
+    def test_pre_mutation_view_observes_the_merge(self):
+        """The aliasing audit: old views must not pin pre-mutation buckets."""
+        database = _chain_db((1, 2), (2, 3))
+        cache = ScanCache(database)
+        old_view = cache.scan(Atom(E, (x, y)))
+        old_partition = old_view.partition((x,))
+        database.discard(_edge(1, 2))
+        database.add(_edge(4, 5))
+        new_view = cache.scan(Atom(E, (z, y)))  # triggers the delta merge
+        assert set(old_view.rows) == set(new_view.rows)
+        assert (Constant(1),) not in old_partition.buckets
+        assert set(old_partition.get((Constant(4),))) == {(Constant(4), Constant(5))}
+        assert old_view.stamped_epoch() == new_view.stamped_epoch()
+
+    def test_stats_and_encoded_store_are_refreshed_after_merge(self):
+        database = _chain_db((1, 2), (2, 3))
+        cache = ScanCache(database)
+        relation = cache.scan(Atom(E, (x, y)))
+        assert relation.column_distinct_counts() == (2, 2)
+        stale_store = relation.encoded(cache.encoder)
+        database.add(_edge(3, 1))
+        merged = cache.scan(Atom(E, (x, y)))
+        assert merged.column_distinct_counts() == (3, 3)
+        fresh_store = merged.encoded(cache.encoder)
+        assert len(fresh_store) == 3
+        assert len(stale_store.store.columns[0]) == 2  # old store untouched
+
+    def test_apply_delta_noop_keeps_caches(self):
+        relation = Relation((x, y), [(Constant(1), Constant(2))])
+        partition = relation.partition((x,))
+        relation.apply_delta([], [])
+        assert relation.partition((x,)) is partition
+        assert relation.rows == [(Constant(1), Constant(2))]
+
+
+# ----------------------------------------------------------------------
+# Cache binding: copies accepted, foreign databases rejected distinctly
+# ----------------------------------------------------------------------
+class TestCacheBinding:
+    def test_fact_identical_copy_is_accepted(self):
+        database = _chain_db((1, 2), (2, 3))
+        cache = ScanCache(database)
+        copy = database.copy()
+        scanned = cache.scan(Atom(E, (x, y)), database=copy)
+        assert len(scanned) == 2
+
+    def test_mutated_copy_is_rejected(self):
+        database = _chain_db((1, 2))
+        cache = ScanCache(database)
+        copy = database.copy()
+        copy.add(_edge(9, 9))
+        with pytest.raises(CacheBindingError):
+            cache.scan(Atom(E, (x, y)), database=copy)
+
+    def test_mutated_original_rejects_an_old_copy(self):
+        database = _chain_db((1, 2))
+        cache = ScanCache(database)
+        copy = database.copy()
+        database.add(_edge(9, 9))
+        with pytest.raises(CacheBindingError):
+            cache.scan(Atom(E, (x, y)), database=copy)
+
+    def test_independent_equal_database_is_rejected(self):
+        cache = ScanCache(_chain_db((1, 2)))
+        other = _chain_db((1, 2))  # equal facts, unrelated instance
+        with pytest.raises(CacheBindingError):
+            cache.scan(Atom(E, (x, y)), database=other)
+
+    def test_binding_error_is_a_value_error(self):
+        # Pre-fix callers caught ValueError; the distinct type must not
+        # break them.
+        assert issubclass(CacheBindingError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Epoch-aware statistics, encoder audit, verifier integration
+# ----------------------------------------------------------------------
+class TestEpochSeams:
+    def test_statistics_refresh_after_mutation(self):
+        database = _chain_db((1, 2))
+        cache = ScanCache(database)
+        statistics = Statistics(database, cache)
+        assert len(statistics.base_relation(E)) == 1
+        database.add(_edge(2, 3))
+        assert len(statistics.base_relation(E)) == 2
+
+    def test_dead_code_audit_counts_stranded_terms(self):
+        database = _chain_db((1, 2), (2, 3))
+        cache = ScanCache(database)
+        cache.scan(Atom(E, (x, y))).encoded(cache.encoder)
+        assert cache.dead_codes() == 0
+        database.discard(_edge(1, 2))  # Constant(1) leaves the active domain
+        cache.scan(Atom(E, (x, y)))
+        assert cache.dead_codes() == 1
+        assert cache.dead_code_sweeps == 2
+
+    def test_verify_epochs_is_clean_and_catches_corruption(self):
+        database = _chain_db((1, 2))
+        cache = ScanCache(database)
+        relation = cache.scan(Atom(E, (x, y)))
+        assert cache.verify_epochs() == []
+        relation.stamp_epoch(relation.stamped_epoch() + 5)  # corrupt
+        issues = cache.verify_epochs()
+        assert len(issues) == 1
+        signature, stamp, expected = issues[0]
+        assert signature[0] == E and stamp == expected + 5
+
+    def test_plan016_flags_a_stale_cached_scan(self):
+        database = _chain_db((1, 2))
+        cache = ScanCache(database)
+        node = Scan(Atom(E, (x, y)))
+        node.materialize(ExecutionContext(database, cache))
+        assert verify_plan(node, expected_epoch=database.mutation_epoch) == []
+        database.add(_edge(2, 3))
+        diagnostics = verify_plan(node, expected_epoch=database.mutation_epoch)
+        assert [d.code for d in diagnostics] == ["PLAN016"]
+        assert diagnostics[0].severity is Severity.ERROR
