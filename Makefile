@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test test-service typecheck lint docs-check bench bench-smoke bench-enum bench-plans bench-backend bench-service
+.PHONY: test test-service typecheck lint docs-check bench bench-smoke bench-enum bench-plans bench-backend bench-parallel bench-service
 
 ## Tier-1 verify: the command every PR must keep green.
 ## REPRO_VERIFY=1 statically re-checks every plan the engines emit.
@@ -47,6 +47,10 @@ bench-plans:
 ## Backend comparison: tuple vs columnar on the Yannakakis scaling workload.
 bench-backend:
 	$(PYTEST) benchmarks/bench_yannakakis_scaling.py -k backend -s
+
+## Parallel kernels: worker-count sweep on the Yannakakis scaling workload.
+bench-parallel:
+	$(PYTEST) benchmarks/bench_parallel_scaling.py -s
 
 ## Service cache: delta merge vs rebuild, plan-cache hit rate.
 bench-service:

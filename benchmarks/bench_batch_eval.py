@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence
 import pytest
 
 from repro.evaluation import BatchEvaluator, ScanCache
+from repro.reporting import BenchSnapshot
 from repro.workloads.generators import shared_predicate_batch_workload
 from conftest import print_series, scaled_sizes, smoke_mode
 
@@ -158,6 +159,16 @@ def test_batched_evaluation_amortises_scans():
             f"    speedup growth {previous['batch']}→{current['batch']}: "
             f"{factor:.2f}× per doubling"
         )
+
+    snapshot = BenchSnapshot("batch_eval")
+    snapshot.record("batches", [row["batch"] for row in rows])
+    snapshot.record("speedups", [row["speedup"] for row in rows])
+    snapshot.record("speedup_at_largest", rows[-1]["speedup"])
+    snapshot.record("sequential_growth", sequential_growth)
+    snapshot.record("batched_growth", batched_growth)
+    for row in rows:
+        snapshot.add_row("curve", row)
+    snapshot.write()
 
     if smoke_mode():
         return  # tiny inputs are noise-dominated; correctness was checked above

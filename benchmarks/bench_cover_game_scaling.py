@@ -39,6 +39,7 @@ import pytest
 from repro.datamodel import Atom, Constant, Predicate, Variable
 from repro.evaluation import membership_generic, membership_via_cover_game_guarded
 from repro.queries.cq import ConjunctiveQuery
+from repro.reporting import BenchSnapshot
 from repro.workloads.generators import cover_game_scaling_workload
 from conftest import print_series, scaled_sizes, smoke_mode
 
@@ -204,6 +205,15 @@ def test_worklist_engine_outgrows_naive_engine():
     # The differential probe panel must agree at every size, smoke or not.
     for row in rows:
         assert row["answers_agree"], f"engines disagreed at |D| = {row['size']}"
+
+    snapshot = BenchSnapshot("cover_game_scaling")
+    snapshot.record("sizes", [row["size"] for row in rows])
+    snapshot.record("worklist_growth", worklist_growth)
+    snapshot.record("naive_growth", naive_growth)
+    snapshot.record("speedup_at_largest", speedup)
+    for row in rows:
+        snapshot.add_row("curve", row)
+    snapshot.write()
 
     if smoke_mode():
         return  # tiny inputs are noise-dominated; correctness was checked above

@@ -21,6 +21,12 @@ dictionary-encoded integer columns (:mod:`repro.evaluation.encoding`);
 ``backend="columnar"`` (or ``REPRO_BACKEND=columnar``) routes any entry
 point through it, with the tuple backend kept as the differential oracle.
 
+The batch face can additionally run morsel-driven parallel kernels
+(:mod:`repro.evaluation.parallel`): ``parallel=`` on any entry point (or
+``REPRO_PARALLEL``) hash-shards the build sides and splits the probe sides
+into contiguous morsels, with a deterministic merge keeping the answers
+bit-identical to the serial path.
+
 Batches of queries over one database go through :func:`evaluate_batch`
 (:mod:`repro.evaluation.batch`), which shares the phase-1 atom scans and
 hash partitions across the whole batch via a :class:`ScanCache`; the same
@@ -51,6 +57,13 @@ from .operators import (
     SemiJoin,
     Statistics,
     render_plan,
+)
+from .parallel import (
+    PARALLEL_ENV,
+    PARALLEL_MIN_ROWS,
+    ParallelMeta,
+    resolve_parallel,
+    shard_counts,
 )
 from .batch import BatchEvaluator, CacheBindingError, ScanCache, atom_signature
 from .yannakakis import (
@@ -124,6 +137,9 @@ __all__ = [
     "JoinPlan",
     "NotSemanticallyAcyclic",
     "Operator",
+    "PARALLEL_ENV",
+    "PARALLEL_MIN_ROWS",
+    "ParallelMeta",
     "Partition",
     "PlanExecution",
     "PlanStep",
@@ -176,7 +192,9 @@ __all__ = [
     "query_covers_database",
     "render_plan",
     "resolve_backend",
+    "resolve_parallel",
     "resolve_planner",
     "resolve_route",
     "service_enabled",
+    "shard_counts",
 ]

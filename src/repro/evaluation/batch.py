@@ -34,6 +34,8 @@ shared-predicate workload of
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import (
     Dict,
     Iterable,
@@ -56,6 +58,7 @@ from .join_plans import (
     iter_with_plan,
     resolve_planner,
 )
+from .parallel import resolve_parallel
 from .relation import Relation, Row, ScanPattern, ScanProvider, compile_scan_pattern
 from .yannakakis import YannakakisEvaluator
 
@@ -146,6 +149,10 @@ class ScanCache:
 
     def __init__(self, database: Instance) -> None:
         self.database = database
+        #: Serialises :meth:`scan` (sync, materialisation, delta merges) so
+        #: concurrently scheduled queries of a batch can share one cache.
+        #: Reentrant because a miss materialises through :meth:`_base`.
+        self._lock = threading.RLock()
         #: The dictionary encoder of the columnar backend.  Owned here so
         #: encodings — like scans and partitions — amortise across every
         #: evaluation sharing the cache (``ExecutionContext`` picks it up
@@ -317,16 +324,17 @@ class ScanCache:
                     "build a ScanCache(database) for the instance you are "
                     "querying, or query through the cache's own database"
                 )
-        self.sync()
-        self.served += 1
-        signature, variables = atom_signature(atom)
-        relation = self._scans.get(signature)
-        if relation is None:
-            relation = self._materialise(signature)
-            self._scans[signature] = relation
-        else:
-            self._absorb(signature, relation)
-        return relation.with_schema(variables)
+        with self._lock:
+            self.sync()
+            self.served += 1
+            signature, variables = atom_signature(atom)
+            relation = self._scans.get(signature)
+            if relation is None:
+                relation = self._materialise(signature)
+                self._scans[signature] = relation
+            else:
+                self._absorb(signature, relation)
+            return relation.with_schema(variables)
 
     # ------------------------------------------------------------------
     def _base(self, predicate: Predicate) -> Relation:
@@ -445,11 +453,16 @@ class BatchEvaluator:
         database: Instance,
         scans: Optional[ScanProvider],
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> Set[Tuple[Term, ...]]:
         kind, evaluator = route
         if evaluator is not None:  # "yannakakis" and "reformulated"
-            return evaluator.evaluate(database, scans=scans, backend=backend)
-        return evaluate_with_plan(query, database, scans=scans, backend=backend)
+            return evaluator.evaluate(
+                database, scans=scans, backend=backend, parallel=parallel
+            )
+        return evaluate_with_plan(
+            query, database, scans=scans, backend=backend, parallel=parallel
+        )
 
     def evaluate(
         self,
@@ -457,6 +470,7 @@ class BatchEvaluator:
         *,
         scans: Optional[ScanProvider] = None,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> List[Set[Tuple[Term, ...]]]:
         """Return ``[q(D) for q in queries]`` with shared phase-1 work.
 
@@ -467,11 +481,38 @@ class BatchEvaluator:
         is materialised once, after which every acyclic (or reformulated)
         query adds its own linear semi-join/join cost and every plan-routed
         query its plan cost.
+
+        With ``parallel`` resolving to two or more workers (see
+        :func:`repro.evaluation.parallel.resolve_parallel`), the batch's
+        independent queries are *scheduled concurrently* over the shared
+        cache (scans serialise on the cache's lock; everything downstream is
+        read-path).  Results stay in query order, and each query's answer
+        set is identical to its serial evaluation — scheduling never changes
+        semantics, only wall-clock overlap.
         """
+        workers = resolve_parallel(parallel)
         if scans is None:
             scans = ScanCache(database)
+        if workers >= 2 and len(self.queries) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(self.queries)),
+                thread_name_prefix="repro-batch",
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self._evaluate_one,
+                        query,
+                        route,
+                        database,
+                        scans,
+                        backend,
+                        workers,
+                    )
+                    for query, route in zip(self.queries, self._routes)
+                ]
+                return [future.result() for future in futures]
         return [
-            self._evaluate_one(query, route, database, scans, backend)
+            self._evaluate_one(query, route, database, scans, backend, parallel)
             for query, route in zip(self.queries, self._routes)
         ]
 
@@ -482,6 +523,7 @@ class BatchEvaluator:
         scans: Optional[ScanProvider] = None,
         limit: Optional[int] = None,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> List[Iterator[Tuple[Term, ...]]]:
         """Per-query answer *generators* over one shared :class:`ScanCache`.
 
@@ -502,7 +544,12 @@ class BatchEvaluator:
             # Wrapped in a generator so even the *planning* (which scans
             # per-predicate cardinalities) waits for the first pull.
             yield from iter_with_plan(
-                query, database, scans=scans, limit=limit, backend=backend
+                query,
+                database,
+                scans=scans,
+                limit=limit,
+                backend=backend,
+                parallel=parallel,
             )
 
         iterators: List[Iterator[Tuple[Term, ...]]] = []
@@ -510,7 +557,11 @@ class BatchEvaluator:
             if evaluator is not None:  # "yannakakis" and "reformulated"
                 iterators.append(
                     evaluator.iter_answers(
-                        database, scans=scans, limit=limit, backend=backend
+                        database,
+                        scans=scans,
+                        limit=limit,
+                        backend=backend,
+                        parallel=parallel,
                     )
                 )
             else:
@@ -524,6 +575,7 @@ class BatchEvaluator:
         scans: Optional[ScanProvider] = None,
         execute: bool = True,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> List[str]:
         """Per-query ``EXPLAIN`` output over one shared :class:`ScanCache`.
 
@@ -544,21 +596,34 @@ class BatchEvaluator:
                     lines.append(f"reformulation: {evaluator.query}")
                 lines.append(
                     evaluator.explain(
-                        database, scans=scans, execute=execute, backend=backend
+                        database,
+                        scans=scans,
+                        execute=execute,
+                        backend=backend,
+                        parallel=parallel,
                     )
                 )
             else:
                 plan = resolve_planner(None)(query, database, scans=scans)
                 lines.append(
                     explain_plan(
-                        plan, database, scans=scans, execute=execute, backend=backend
+                        plan,
+                        database,
+                        scans=scans,
+                        execute=execute,
+                        backend=backend,
+                        parallel=parallel,
                     )
                 )
             reports.append("\n".join(lines))
         return reports
 
     def evaluate_sequential(
-        self, database: Instance, *, backend: Optional[str] = None
+        self,
+        database: Instance,
+        *,
+        backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> List[Set[Tuple[Term, ...]]]:
         """The per-query baseline: identical routing, no shared scans.
 
@@ -568,6 +633,8 @@ class BatchEvaluator:
         oracle for :meth:`evaluate`.
         """
         return [
-            self._evaluate_one(query, route, database, None, backend=backend)
+            self._evaluate_one(
+                query, route, database, None, backend=backend, parallel=parallel
+            )
             for query, route in zip(self.queries, self._routes)
         ]

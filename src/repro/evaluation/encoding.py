@@ -33,6 +33,7 @@ streaming tests and benchmarks hold under either backend.
 from __future__ import annotations
 
 import os
+import threading
 from array import array
 from typing import (
     Container,
@@ -138,13 +139,21 @@ class TermEncoder:
     :class:`~repro.evaluation.operators.ExecutionContext` when no cache is
     shared), so relations encoded under the same encoder share a code space
     and can be joined without translation.
+
+    Encoding is thread-safe: concurrent batch scheduling and the parallel
+    morsel kernels may encode under one shared encoder from several workers
+    at once, so the append path takes a lock — the same discipline as
+    ``TermFactory`` in :mod:`repro.datamodel.terms`.  The fast path (term
+    already assigned) stays a single lock-free dict read: codes are never
+    retracted, so a hit is stable the moment it is visible.
     """
 
-    __slots__ = ("codes", "terms")
+    __slots__ = ("codes", "terms", "_lock")
 
     def __init__(self) -> None:
         self.codes: Dict[Term, int] = {}
         self.terms: List[Term] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.terms)
@@ -152,9 +161,12 @@ class TermEncoder:
     def encode(self, term: Term) -> int:
         code = self.codes.get(term)
         if code is None:
-            code = len(self.terms)
-            self.codes[term] = code
-            self.terms.append(term)
+            with self._lock:
+                code = self.codes.get(term)
+                if code is None:
+                    code = len(self.terms)
+                    self.terms.append(term)
+                    self.codes[term] = code
         return code
 
     def encode_row(self, row: Row) -> IntRow:
@@ -645,15 +657,23 @@ class EncodedRelation:
         terms = self.encoder.terms
         columns = self.store.columns
         use_numpy = self.store.use_numpy
+        terms_array = None
+        if use_numpy and self.store.length:
+            numpy = _numpy_module()
+            terms_array = numpy.empty(len(terms), dtype=object)  # type: ignore[union-attr]
+            terms_array[:] = terms
         cache: Dict[int, List[Term]] = {}
         decoded = []
         for position in positions:
             column_terms = cache.get(position)
             if column_terms is None:
                 column = columns[position]
-                if use_numpy:
-                    column = column.tolist()  # type: ignore[union-attr]
-                column_terms = [terms[code] for code in column]
+                if terms_array is not None:
+                    # Fancy indexing on an object array decodes the whole
+                    # column in one C call.
+                    column_terms = terms_array[column].tolist()
+                else:
+                    column_terms = [terms[code] for code in column]
                 cache[position] = column_terms
             decoded.append(column_terms)
         return decoded

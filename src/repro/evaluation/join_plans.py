@@ -490,6 +490,7 @@ def execute_plan(
     *,
     scans: Optional[ScanProvider] = None,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> PlanExecution:
     """Execute a join plan on its materialising face over the IR.
 
@@ -500,7 +501,7 @@ def execute_plan(
     up empty.  ``scans`` injects a shared scan provider for the base-atom
     scans (see :meth:`Relation.from_atom`).
     """
-    context = ExecutionContext(database, scans, backend=backend)
+    context = ExecutionContext(database, scans, backend=backend, parallel=parallel)
     ops = compile_plan(plan)
     if ops:
         _maybe_verify(ops[-1], where="join_plans.execute_plan")
@@ -543,6 +544,7 @@ def iter_plan_answers(
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> Iterator[Tuple[Term, ...]]:
     """Stream a plan's answers through the fully pipelined operator chain.
 
@@ -570,7 +572,7 @@ def iter_plan_answers(
     _maybe_verify(top, streaming=True, where="join_plans.iter_plan_answers")
     head_positions = tuple(head_schema.index(v) for v in plan.query.head)
 
-    context = ExecutionContext(database, scans, backend=backend)
+    context = ExecutionContext(database, scans, backend=backend, parallel=parallel)
     produced = 0
     if context.backend == "columnar":
         # The chain pipelines batch-at-a-time; codes are decoded only here.
@@ -597,6 +599,7 @@ def explain_plan(
     statistics: Optional[Statistics] = None,
     execute: bool = True,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> str:
     """Pretty-print a compiled plan with estimated vs. observed rows.
 
@@ -619,7 +622,7 @@ def explain_plan(
     )
     model.annotate(top)
     if execute:
-        context = ExecutionContext(database, scans, backend=backend)
+        context = ExecutionContext(database, scans, backend=backend, parallel=parallel)
         if context.backend == "columnar":
             top.materialize_encoded(context)
         else:
@@ -651,6 +654,7 @@ def evaluate_with_plan(
     *,
     scans: Optional[ScanProvider] = None,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> Set[Tuple[Term, ...]]:
     """Plan and execute ``query`` over ``database``; return the answer set.
 
@@ -660,7 +664,9 @@ def evaluate_with_plan(
     planner = resolve_planner(planner)
     scans = _default_scans(database, scans)
     plan = planner(query, database, scans=scans)
-    return execute_plan(plan, database, scans=scans, backend=backend).answers
+    return execute_plan(
+        plan, database, scans=scans, backend=backend, parallel=parallel
+    ).answers
 
 
 def iter_with_plan(
@@ -671,6 +677,7 @@ def iter_with_plan(
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> Iterator[Tuple[Term, ...]]:
     """Plan ``query`` and stream its answers (see :func:`iter_plan_answers`).
 
@@ -681,7 +688,9 @@ def iter_with_plan(
     planner = resolve_planner(planner, streaming=True)
     scans = _default_scans(database, scans)
     plan = planner(query, database, scans=scans)
-    return iter_plan_answers(plan, database, scans=scans, limit=limit, backend=backend)
+    return iter_plan_answers(
+        plan, database, scans=scans, limit=limit, backend=backend, parallel=parallel
+    )
 
 
 def boolean_with_plan(
@@ -691,6 +700,7 @@ def boolean_with_plan(
     *,
     scans: Optional[ScanProvider] = None,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> bool:
     """Boolean evaluation through a join plan (first-answer short-circuit).
 
@@ -698,7 +708,13 @@ def boolean_with_plan(
     never a join prefix — are materialised in full.
     """
     for _ in iter_with_plan(
-        query, database, planner=planner, scans=scans, limit=1, backend=backend
+        query,
+        database,
+        planner=planner,
+        scans=scans,
+        limit=1,
+        backend=backend,
+        parallel=parallel,
     ):
         return True
     return False

@@ -52,6 +52,8 @@ streaming face pipelines the whole prefix.
 
 from __future__ import annotations
 
+import os
+import warnings
 from typing import (
     Dict,
     FrozenSet,
@@ -68,6 +70,14 @@ from typing import (
 from ..datamodel import Atom, Instance, Predicate, Term, Variable
 from ..hypergraph import JoinTree
 from .encoding import EncodedRelation, IntRow, TermEncoder, resolve_backend
+from .parallel import (
+    ParallelMeta,
+    parallel_join,
+    parallel_project,
+    parallel_select,
+    parallel_semijoin,
+    resolve_parallel,
+)
 from .relation import (
     Partition,
     Relation,
@@ -77,10 +87,47 @@ from .relation import (
     compile_scan_pattern,
 )
 
+#: Environment variable overriding :data:`BATCH_ROWS` (the morsel size).
+BATCH_ROWS_ENV = "REPRO_BATCH_ROWS"
+
+#: The default batch-face row budget when ``REPRO_BATCH_ROWS`` is unset.
+DEFAULT_BATCH_ROWS = 1024
+
+
+def _resolve_batch_rows() -> int:
+    """Resolve ``REPRO_BATCH_ROWS`` to a positive int, warning on junk.
+
+    Unlike ``REPRO_BACKEND``/``REPRO_PARALLEL`` (which raise on typos), a
+    bad morsel size degrades gracefully: batch execution is correct at any
+    size, so a non-positive or non-numeric value warns and falls back to
+    :data:`DEFAULT_BATCH_ROWS` rather than making every entry point
+    unusable.  Read once at import time — the batch tests monkeypatch the
+    module constant, not the environment.
+    """
+    raw = os.environ.get(BATCH_ROWS_ENV, "").strip()
+    if not raw:
+        return DEFAULT_BATCH_ROWS
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value <= 0:
+        warnings.warn(
+            f"ignoring {BATCH_ROWS_ENV}={raw!r}: expected a positive integer,"
+            f" using the default of {DEFAULT_BATCH_ROWS}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_BATCH_ROWS
+    return value
+
+
 #: Row budget of one batch on the batch face (:meth:`Operator.iter_batches`).
 #: Large enough to amortise per-batch dispatch, small enough that ``limit=``
-#: consumers stop a pipelined chain after O(batch) extra work.
-BATCH_ROWS = 1024
+#: consumers stop a pipelined chain after O(batch) extra work.  Tunable per
+#: machine through ``REPRO_BATCH_ROWS`` (positive int; junk warns and keeps
+#: the default).
+BATCH_ROWS = _resolve_batch_rows()
 
 
 def first_occurrence_schema(variables: Sequence[Variable]) -> Tuple[Variable, ...]:
@@ -109,9 +156,15 @@ class ExecutionContext:
     provider owns an encoder (``ScanCache.encoder``) it is reused, so
     encodings — like scans and partitions — amortise across every
     evaluation sharing the cache.
+
+    ``parallel`` sets the morsel worker count (resolved per
+    :func:`repro.evaluation.parallel.resolve_parallel`; fewer than two
+    workers means the serial kernels run).  Only the batch face consults
+    it: the tuple face and the streaming faces stay serial — they are the
+    differential oracles the parallel kernels are tested against.
     """
 
-    __slots__ = ("database", "scans", "backend", "encoder")
+    __slots__ = ("database", "scans", "backend", "encoder", "workers")
 
     def __init__(
         self,
@@ -120,10 +173,12 @@ class ExecutionContext:
         *,
         backend: Optional[str] = None,
         encoder: Optional[TermEncoder] = None,
+        parallel: Optional[object] = None,
     ) -> None:
         self.database = database
         self.scans = scans
         self.backend = resolve_backend(backend)
+        self.workers = resolve_parallel(parallel)
         if encoder is None:
             encoder = getattr(scans, "encoder", None)
             if encoder is None:
@@ -153,6 +208,7 @@ class Operator:
         "executed_face",
         "_result",
         "_encoded",
+        "_parallel_meta",
     )
 
     def __init__(
@@ -168,6 +224,9 @@ class Operator:
         self.executed_face: Optional[str] = None
         self._result: Optional[Relation] = None
         self._encoded: Optional[EncodedRelation] = None
+        #: The shard/morsel layout when a parallel kernel executed this
+        #: node (rendered by :func:`render_plan`, audited by PLAN017).
+        self._parallel_meta: Optional[ParallelMeta] = None
 
     # -- execution ------------------------------------------------------
     def materialize(self, context: ExecutionContext) -> Relation:
@@ -323,7 +382,13 @@ class Select(Operator):
 
     def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
         child = self.children[0].materialize_encoded(context)
-        return child.select_codes(self._encoded_checks(context))
+        checks = self._encoded_checks(context)
+        if context.workers >= 2:
+            sharded = parallel_select(child, checks, context.workers)
+            if sharded is not None:
+                result, self._parallel_meta = sharded
+                return result
+        return child.select_codes(checks)
 
     def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
         self.observed_rows = 0
@@ -369,7 +434,15 @@ class Project(Operator):
                 yield projected
 
     def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
-        return self.children[0].materialize_encoded(context).project(self.schema)
+        child = self.children[0].materialize_encoded(context)
+        if context.workers >= 2:
+            sharded = parallel_project(
+                child, self.schema, self._positions, context.workers
+            )
+            if sharded is not None:
+                result, self._parallel_meta = sharded
+                return result
+        return child.project(self.schema)
 
     def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
         self.observed_rows = 0
@@ -408,7 +481,18 @@ class Distinct(Operator):
                 yield row
 
     def _materialize_encoded(self, context: ExecutionContext) -> EncodedRelation:
-        return self.children[0].materialize_encoded(context).distinct()
+        child = self.children[0].materialize_encoded(context)
+        if context.workers >= 2:
+            sharded = parallel_project(
+                child,
+                self.schema,
+                tuple(range(len(self.schema))),
+                context.workers,
+            )
+            if sharded is not None:
+                result, self._parallel_meta = sharded
+                return result
+        return child.distinct()
 
     def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
         self.observed_rows = 0
@@ -470,7 +554,19 @@ class SemiJoin(Operator):
         left = self.children[0].materialize_encoded(context)
         if left.is_empty():
             return EncodedRelation.empty(self.schema, context.encoder)
-        return left.semijoin(self.children[1].materialize_encoded(context))
+        right = self.children[1].materialize_encoded(context)
+        if context.workers >= 2 and self._shared:
+            sharded = parallel_semijoin(
+                left,
+                right,
+                self._left_key,
+                tuple(right.position(v) for v in self._shared),
+                context.workers,
+            )
+            if sharded is not None:
+                result, self._parallel_meta = sharded
+                return result
+        return left.semijoin(right)
 
     def iter_batches(self, context: ExecutionContext) -> Iterator[EncodedRelation]:
         self.observed_rows = 0
@@ -560,7 +656,23 @@ class HashJoin(Operator):
             return EncodedRelation.empty(self.schema, context.encoder)
         right = self.children[1].materialize_encoded(context)
         before = Partition.total_probes
-        result = left.join(right)
+        result: Optional[EncodedRelation] = None
+        if context.workers >= 2 and self._shared:
+            # The parallel kernel aggregates len(left) probes through
+            # Partition.add_probes, so the delta below is backend-identical.
+            sharded = parallel_join(
+                left,
+                right,
+                self._left_key,
+                tuple(right.position(v) for v in self._shared),
+                self._right_residual,
+                self.schema,
+                context.workers,
+            )
+            if sharded is not None:
+                result, self._parallel_meta = sharded
+        if result is None:
+            result = left.join(right)
         self.observed_probes = (self.observed_probes or 0) + (
             Partition.total_probes - before
         )
@@ -1278,11 +1390,13 @@ def render_plan(root: Operator, indent: str = "  ") -> str:
             if operator.observed_probes is not None
             else ""
         )
+        meta = operator._parallel_meta
+        parallel = f", {meta.describe()}" if meta is not None else ""
         face = ", face=batch" if operator.executed_face == "batch" else ""
         lines.append(
             f"{prefix}{operator.label()}  "
             f"(est={_format_count(operator.estimated_rows)}, "
-            f"obs={_format_count(operator.observed_rows)}{probes}{face})"
+            f"obs={_format_count(operator.observed_rows)}{probes}{parallel}{face})"
         )
         for child in operator.children:
             visit(child, depth + 1)

@@ -382,7 +382,7 @@ class DecompositionEvaluator(YannakakisEvaluator):
     after is Yannakakis.
     """
 
-    def __init__(self, query, scans=None, *, backend=None):
+    def __init__(self, query, scans=None, *, backend=None, parallel=None):
         atoms = list(query.body)
         graph = gaifman_graph_of_atoms(atoms)
         decomposition = _pruned_decomposition(tree_decomposition_min_fill(graph))
@@ -426,7 +426,9 @@ class DecompositionEvaluator(YannakakisEvaluator):
             raise ValueError(f"tree decomposition left atoms uncovered: {uncovered}")
 
         tree = self._build_bag_tree()
-        super().__init__(query, scans, backend=backend, join_tree=tree)
+        super().__init__(
+            query, scans, backend=backend, parallel=parallel, join_tree=tree
+        )
 
     def _build_bag_tree(self) -> JoinTree:
         nodes = {

@@ -40,6 +40,7 @@ rebuild.
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Callable,
     Dict,
@@ -170,6 +171,21 @@ class Partition:
 
     #: Process-wide count of :meth:`get` probes across all partitions.
     total_probes: int = 0
+
+    #: Guards bulk :meth:`add_probes` aggregation from parallel kernels.
+    _probe_lock = threading.Lock()
+
+    @classmethod
+    def add_probes(cls, count: int) -> None:
+        """Aggregate ``count`` probes into the process-wide counter.
+
+        The parallel morsel kernels (:mod:`repro.evaluation.parallel`) never
+        touch the counter from worker threads; the coordinator adds the
+        per-operator aggregate once, under a lock, so the bounded-work
+        assertions see the same totals the serial per-row probes produce.
+        """
+        with cls._probe_lock:
+            cls.total_probes += count
 
     def __init__(self, positions: Tuple[int, ...], rows: Iterable[Row]) -> None:
         self.positions = positions

@@ -90,9 +90,12 @@ class SemAcEvaluation:
         *,
         scans: Optional[ScanProvider] = None,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> Set[Tuple[Term, ...]]:
         """Return ``q(D)`` (equal to ``q'(D)`` on every ``D ⊨ Σ``)."""
-        return self._evaluator.evaluate(database, scans=scans, backend=backend)
+        return self._evaluator.evaluate(
+            database, scans=scans, backend=backend, parallel=parallel
+        )
 
     def answer_relation(
         self,
@@ -100,6 +103,7 @@ class SemAcEvaluation:
         *,
         scans: Optional[ScanProvider] = None,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> Relation:
         """Return ``q(D)`` as a :class:`Relation` over the free variables.
 
@@ -108,7 +112,9 @@ class SemAcEvaluation:
         further joins) can stay inside the hash-relation engine instead of
         round-tripping through Python sets of tuples.
         """
-        return self._evaluator.answer_relation(database, scans=scans, backend=backend)
+        return self._evaluator.answer_relation(
+            database, scans=scans, backend=backend, parallel=parallel
+        )
 
     def iter_answers(
         self,
@@ -117,6 +123,7 @@ class SemAcEvaluation:
         scans: Optional[ScanProvider] = None,
         limit: Optional[int] = None,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> Iterator[Tuple[Term, ...]]:
         """Stream ``q(D)`` one answer at a time through the reformulation.
 
@@ -126,7 +133,7 @@ class SemAcEvaluation:
         passes instead of after the whole output.
         """
         return self._evaluator.iter_answers(
-            database, scans=scans, limit=limit, backend=backend
+            database, scans=scans, limit=limit, backend=backend, parallel=parallel
         )
 
     def boolean(
@@ -135,8 +142,11 @@ class SemAcEvaluation:
         *,
         scans: Optional[ScanProvider] = None,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> bool:
-        return self._evaluator.boolean(database, scans=scans, backend=backend)
+        return self._evaluator.boolean(
+            database, scans=scans, backend=backend, parallel=parallel
+        )
 
 
 def evaluate_via_reformulation(
@@ -248,6 +258,7 @@ def evaluate_iter(
     scans: Optional[ScanProvider] = None,
     limit: Optional[int] = None,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> Iterator[Tuple[Term, ...]]:
     """Stream the distinct answers of ``q(D)`` one tuple at a time.
 
@@ -290,14 +301,17 @@ def evaluate_iter(
         from ..service import shared_service
 
         return shared_service(database).stream(
-            query, tgds=tgds, engine=engine, limit=limit, backend=backend
+            query, tgds=tgds, engine=engine, limit=limit, backend=backend,
+            parallel=parallel,
         )
     route, evaluator = resolve_route(query, tgds=tgds, engine=engine)
     if evaluator is not None:  # "yannakakis" and "reformulated"
         return evaluator.iter_answers(
-            database, scans=scans, limit=limit, backend=backend
+            database, scans=scans, limit=limit, backend=backend, parallel=parallel
         )
-    return iter_with_plan(query, database, scans=scans, limit=limit, backend=backend)
+    return iter_with_plan(
+        query, database, scans=scans, limit=limit, backend=backend, parallel=parallel
+    )
 
 
 def explain(
@@ -310,6 +324,7 @@ def explain(
     execute: bool = True,
     verify: bool = False,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> str:
     """Pretty-print the physical plan chosen for ``query`` over ``database``.
 
@@ -336,6 +351,7 @@ def explain(
     :func:`evaluate_iter` on impossible forced routes.
     """
     from .encoding import resolve_backend
+    from .parallel import resolve_parallel
 
     route, evaluator = resolve_route(query, tgds=tgds, engine=engine)
     if scans is None:
@@ -343,9 +359,12 @@ def explain(
         # the executed plan all draw the same base scans and partitions.
         scans = ScanCache(database)
     resolved = resolve_backend(backend)
+    workers = resolve_parallel(parallel)
     lines = [f"query: {query}", f"route: {route}"]
     if resolved != "tuple":
         lines.append(f"backend: {resolved}")
+    if workers >= 2:
+        lines.append(f"parallel: {workers}")
     plan = None
     if evaluator is not None:
         if route == "reformulated":
@@ -360,7 +379,10 @@ def explain(
                 f"decomposition: width {decomposition.width}, bags {bags}"
             )
         lines.append(
-            evaluator.explain(database, scans=scans, execute=execute, backend=resolved)
+            evaluator.explain(
+                database, scans=scans, execute=execute, backend=resolved,
+                parallel=parallel,
+            )
         )
     else:
         statistics = Statistics(database, scans)
@@ -374,6 +396,7 @@ def explain(
                 statistics=statistics,
                 execute=execute,
                 backend=resolved,
+                parallel=parallel,
             )
         )
     if verify:
@@ -409,6 +432,7 @@ def evaluate_batch(
     engine: str = "batch",
     scans: Optional[ScanProvider] = None,
     backend: Optional[str] = None,
+    parallel: Optional[object] = None,
 ) -> List[Set[Tuple[Term, ...]]]:
     """Evaluate a batch of CQs over one database; return one answer set each.
 
@@ -449,8 +473,10 @@ def evaluate_batch(
         scans = shared_service(database).scans
     batch = BatchEvaluator(queries, tgds=tgds)
     if engine == "batch":
-        return batch.evaluate(database, scans=scans, backend=backend)
-    return batch.evaluate_sequential(database, backend=backend)
+        return batch.evaluate(
+            database, scans=scans, backend=backend, parallel=parallel
+        )
+    return batch.evaluate_sequential(database, backend=backend, parallel=parallel)
 
 
 def membership_via_cover_game_guarded(

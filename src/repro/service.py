@@ -40,9 +40,12 @@ CI job).
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .analysis.diagnostics import Diagnostic, Severity
 from .datamodel import Atom, Instance, Term, Variable
@@ -50,6 +53,7 @@ from .dependencies.tgd import TGD
 from .evaluation.batch import ScanCache
 from .evaluation.join_plans import evaluate_with_plan, iter_with_plan
 from .evaluation.operators import Statistics
+from .evaluation.parallel import resolve_parallel
 from .queries.core_minimization import core
 from .queries.cq import ConjunctiveQuery
 
@@ -156,6 +160,15 @@ class QueryService:
         #: Relative database-size drift past which a cached plan is
         #: re-planned on next use (0.3 = 30%).
         self.replan_drift = replan_drift
+        # Plan-cache and raw-request-memo guard: concurrent submits (see
+        # :meth:`submit_batch`) route through one consistent cache.
+        self._plan_lock = threading.RLock()
+        # Materialised reads in flight.  Writes drain them first (see
+        # :meth:`insert`): a mutation waits for running submits to finish,
+        # then bumps the epoch — readers never observe a half-applied write,
+        # and open *streams* keep their own epoch guard.
+        self._idle = threading.Condition(threading.Lock())
+        self._in_flight = 0
         self._plans: Dict[PlanKey, _PlanEntry] = {}
         # Memo from the *raw* request (query, tgds, engine) to its plan key,
         # so repeat submissions of an already-seen query object skip the
@@ -179,6 +192,12 @@ class QueryService:
         )
 
     def _entry(
+        self, query: ConjunctiveQuery, tgds: Tuple[TGD, ...], engine: str
+    ) -> _PlanEntry:
+        with self._plan_lock:
+            return self._entry_locked(query, tgds, engine)
+
+    def _entry_locked(
         self, query: ConjunctiveQuery, tgds: Tuple[TGD, ...], engine: str
     ) -> _PlanEntry:
         memo_key = (query, tgds, engine)
@@ -217,6 +236,27 @@ class QueryService:
         return entry
 
     # ------------------------------------------------------------------
+    # In-flight tracking (writes drain materialised reads first)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _tracked(self):
+        with self._idle:
+            self._in_flight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._in_flight -= 1
+                if not self._in_flight:
+                    self._idle.notify_all()
+
+    def _drain(self) -> None:
+        """Block until no materialised submit is running (write barrier)."""
+        with self._idle:
+            while self._in_flight:
+                self._idle.wait()
+
+    # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def submit(
@@ -226,6 +266,7 @@ class QueryService:
         tgds: Sequence[TGD] = (),
         engine: str = "auto",
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> Set[Tuple[Term, ...]]:
         """The full answer set of ``query`` over the current database state.
 
@@ -233,16 +274,66 @@ class QueryService:
         answers for every isomorphic variant — answer tuples are positional,
         so they transfer verbatim) and the shared scan cache (mutations since
         the last request are absorbed incrementally before the scans are
-        served).
+        served).  ``parallel`` selects the morsel-parallel batch kernels
+        exactly as on the one-shot entry points; writes arriving while the
+        submit runs wait for it (see :meth:`insert`).
         """
         entry = self._entry(query, tuple(tgds), engine)
-        if entry.evaluator is not None:  # yannakakis / reformulated / decomposition
-            return entry.evaluator.evaluate(  # type: ignore[attr-defined]
-                self.database, scans=self.scans, backend=backend
+        with self._tracked():
+            if entry.evaluator is not None:  # yannakakis / reformulated / decomposition
+                return entry.evaluator.evaluate(  # type: ignore[attr-defined]
+                    self.database, scans=self.scans, backend=backend,
+                    parallel=parallel,
+                )
+            return evaluate_with_plan(
+                entry.query, self.database, scans=self.scans, backend=backend,
+                parallel=parallel,
             )
-        return evaluate_with_plan(
-            entry.query, self.database, scans=self.scans, backend=backend
-        )
+
+    def submit_batch(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        *,
+        tgds: Sequence[TGD] = (),
+        engine: str = "auto",
+        backend: Optional[str] = None,
+        parallel: Optional[object] = None,
+    ) -> List[Set[Tuple[Term, ...]]]:
+        """Answer several independent queries; one answer set each, in order.
+
+        With ``parallel`` resolving to two or more workers the submits are
+        scheduled concurrently over the service's shared scan cache (scan
+        materialisation serialises on the cache's lock; everything else is
+        read-path).  Results are returned in query order and each equals the
+        corresponding serial :meth:`submit` — concurrency changes wall-clock
+        overlap, never answers.  Writes drain the whole batch first, exactly
+        as they drain single submits.
+        """
+        requests = list(queries)
+        workers = resolve_parallel(parallel)
+        if workers >= 2 and len(requests) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(requests)),
+                thread_name_prefix="repro-service",
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self.submit,
+                        query,
+                        tgds=tgds,
+                        engine=engine,
+                        backend=backend,
+                        parallel=workers,
+                    )
+                    for query in requests
+                ]
+                return [future.result() for future in futures]
+        return [
+            self.submit(
+                query, tgds=tgds, engine=engine, backend=backend, parallel=parallel
+            )
+            for query in requests
+        ]
 
     def stream(
         self,
@@ -252,6 +343,7 @@ class QueryService:
         engine: str = "auto",
         limit: Optional[int] = None,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> Iterator[Tuple[Term, ...]]:
         """Stream distinct answers with an epoch guard and ``limit=`` cap.
 
@@ -265,12 +357,13 @@ class QueryService:
         entry = self._entry(query, tuple(tgds), engine)
         if entry.evaluator is not None:
             inner = entry.evaluator.iter_answers(  # type: ignore[attr-defined]
-                self.database, scans=self.scans, limit=limit, backend=backend
+                self.database, scans=self.scans, limit=limit, backend=backend,
+                parallel=parallel,
             )
         else:
             inner = iter_with_plan(
                 entry.query, self.database, scans=self.scans, limit=limit,
-                backend=backend,
+                backend=backend, parallel=parallel,
             )
         opened = getattr(self.database, "mutation_epoch", 0)
         return self._guarded(inner, opened)
@@ -296,14 +389,25 @@ class QueryService:
     # Write path
     # ------------------------------------------------------------------
     def insert(self, atom: Atom) -> bool:
-        """Add ``atom``; return whether it was new.  Epoch-bumping write."""
+        """Add ``atom``; return whether it was new.  Epoch-bumping write.
+
+        Drains in-flight materialised submits first (:meth:`_drain`), so a
+        concurrently scheduled batch never reads around a half-applied
+        write; open streams are left to their own epoch guard, which fails
+        them loudly on the next pull.
+        """
+        self._drain()
         added = self.database.add(atom)
         if added:
             self.writes += 1
         return added
 
     def delete(self, atom: Atom) -> bool:
-        """Remove ``atom``; return whether it was present.  Epoch-bumping."""
+        """Remove ``atom``; return whether it was present.  Epoch-bumping.
+
+        Drains in-flight materialised submits first, like :meth:`insert`.
+        """
+        self._drain()
         removed = self.database.discard(atom)
         if removed:
             self.writes += 1

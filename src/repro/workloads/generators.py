@@ -764,6 +764,76 @@ def yannakakis_scaling_workload(
     return query, database
 
 
+def skewed_chain_database(
+    layers: int,
+    width: int,
+    fanout: int = 2,
+    skew: float = 1.1,
+    seed=0,
+    predicate_prefix: str = "S",
+) -> Database:
+    """A layered chain whose random edges follow a Zipf-like distribution.
+
+    Identical in shape to :func:`layered_chain_database` (diagonal spine
+    plus ``width · (fanout - 1)`` extra edges per relation), but the extra
+    edges pick their endpoints with probability ``∝ 1/rank^skew`` instead
+    of uniformly: a handful of "hub" nodes receive most of the fan-in.
+    Under the morsel-driven parallel kernels this makes the hash shards
+    deliberately *imbalanced* — the skew panel of
+    ``benchmarks/bench_yannakakis_scaling.py`` uses it to show per-worker
+    shard sizes and that the merge stays answer-identical under skew.
+    ``skew=0`` degenerates to the uniform layered chain.
+    """
+    if layers < 1 or width < 1 or fanout < 1:
+        raise ValueError("layers, width and fanout must all be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = _rng(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(width)]
+    cumulative = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+    database = Database()
+    for layer in range(1, layers + 1):
+        predicate = Predicate(f"{predicate_prefix}{layer}", 2)
+        sources = [Constant(f"L{layer - 1}_{i}") for i in range(width)]
+        targets = [Constant(f"L{layer}_{i}") for i in range(width)]
+        for i in range(width):
+            database.add(Atom(predicate, (sources[i], targets[i])))
+        extra = width * (fanout - 1)
+        if extra:
+            picked_sources = rng.choices(sources, cum_weights=cumulative, k=extra)
+            picked_targets = rng.choices(targets, cum_weights=cumulative, k=extra)
+            for source, target in zip(picked_sources, picked_targets):
+                database.add(Atom(predicate, (source, target)))
+    return database
+
+
+def skewed_scaling_workload(
+    size: int,
+    layers: int = 4,
+    fanout: int = 2,
+    skew: float = 1.1,
+    seed=0,
+    free_ends: bool = True,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """The skewed counterpart of :func:`yannakakis_scaling_workload`.
+
+    Same chain query and ``≈ size`` total facts, but the database comes
+    from :func:`skewed_chain_database`, so join-key frequencies are
+    Zipf-distributed.  Exercises the worst case of hash sharding: most
+    probe rows land in the shards of a few hub keys.
+    """
+    width = max(1, size // (layers * fanout))
+    query = layered_chain_query(layers, free_ends=free_ends)
+    database = skewed_chain_database(
+        layers, width, fanout=fanout, skew=skew, seed=seed
+    )
+    return query, database
+
+
 def plan_quality_workload(
     size: int,
     seed=0,
