@@ -225,7 +225,7 @@ class IntIndex:
     def get(self, key: object) -> Sequence[int]:
         """The row indices carrying ``key`` (empty when none do) — counted."""
         self.probes += 1
-        Partition.total_probes += 1
+        Partition.count_probe()
         return self.buckets.get(key, _EMPTY_BUCKET)
 
 

@@ -621,10 +621,13 @@ class HashJoin(Operator):
         if left.is_empty():
             return Relation(self.schema, [])
         right = self.children[1].materialize(context)
-        before = Partition.total_probes
+        # Diff the *thread-local* probe counter: this plan runs on one
+        # thread, so probes issued by concurrently scheduled queries (the
+        # batch/service schedulers) never land inside the delta.
+        before = Partition.thread_probes()
         result = left.join(right)
         self.observed_probes = (self.observed_probes or 0) + (
-            Partition.total_probes - before
+            Partition.thread_probes() - before
         )
         return result
 
@@ -655,11 +658,13 @@ class HashJoin(Operator):
         if left.is_empty():
             return EncodedRelation.empty(self.schema, context.encoder)
         right = self.children[1].materialize_encoded(context)
-        before = Partition.total_probes
+        # Thread-local delta, as in the tuple face: the parallel kernel
+        # aggregates len(left) probes through Partition.add_probes on this
+        # (the coordinator) thread, so the delta is backend-identical and
+        # immune to concurrently scheduled queries' probes.
+        before = Partition.thread_probes()
         result: Optional[EncodedRelation] = None
         if context.workers >= 2 and self._shared:
-            # The parallel kernel aggregates len(left) probes through
-            # Partition.add_probes, so the delta below is backend-identical.
             sharded = parallel_join(
                 left,
                 right,
@@ -674,7 +679,7 @@ class HashJoin(Operator):
         if result is None:
             result = left.join(right)
         self.observed_probes = (self.observed_probes or 0) + (
-            Partition.total_probes - before
+            Partition.thread_probes() - before
         )
         return result
 

@@ -22,8 +22,8 @@ This module supplies that layer:
   :data:`PARALLEL_MIN_ROWS`, unpackable multi-column key, …) and the caller
   falls back to the serial kernel; otherwise it returns the result plus a
   :class:`ParallelMeta` describing the shard/morsel layout (rendered by
-  ``EXPLAIN`` as ``workers=P shards=…`` and audited by the static
-  verifier's PLAN017 check).
+  ``EXPLAIN`` as ``workers=P shards=S morsels=M`` and audited by the
+  static verifier's PLAN017 check).
 
 **Determinism.**  Answers must be bit-identical to serial execution:
 
@@ -129,11 +129,13 @@ class ParallelMeta:
     """The shard/morsel layout one parallel kernel executed with.
 
     Attached to the operator node that ran the kernel (``_parallel_meta``):
-    ``EXPLAIN`` renders it as ``workers=P shards=…`` and the static
-    verifier's PLAN017 check audits that the recorded layout tiles the
-    operand relations exactly (no row lost or duplicated by the merge).
-    ``shard_sizes`` describes the hash shards of the build side (empty for
-    the unary kernels); ``morsel_sizes`` the contiguous probe morsels.
+    ``EXPLAIN`` renders it as ``workers=P shards=S morsels=M`` (the shard
+    part only for the binary kernels, which hash-shard a build side) and
+    the static verifier's PLAN017 check audits that the recorded layout
+    tiles the operand relations exactly (no row lost or duplicated by the
+    merge).  ``shard_sizes`` describes the hash shards of the build side
+    (empty for the unary kernels); ``morsel_sizes`` the contiguous probe
+    morsels.
     """
 
     __slots__ = (
@@ -163,10 +165,21 @@ class ParallelMeta:
 
     @property
     def shards(self) -> int:
+        """The build-side hash shard count (0 for the unary kernels)."""
+        return len(self.shard_sizes)
+
+    @property
+    def morsels(self) -> int:
+        """The contiguous probe-morsel count."""
         return len(self.morsel_sizes)
 
     def describe(self) -> str:
-        return f"workers={self.workers} shards={self.shards}"
+        if self.shard_sizes:
+            return (
+                f"workers={self.workers} shards={self.shards} "
+                f"morsels={self.morsels}"
+            )
+        return f"workers={self.workers} morsels={self.morsels}"
 
 
 # ----------------------------------------------------------------------
@@ -256,15 +269,46 @@ def _morsel_bounds(length: int, workers: int) -> List[Tuple[int, int]]:
 _ABSENT = object()
 
 
-def _shards_for(relation: EncodedRelation, keys, positions, workers: int):
+def _pack_base(relation: EncodedRelation) -> int:
+    """The mixed-radix base multi-column keys pack under *right now*.
+
+    The shared :class:`~repro.evaluation.encoding.TermEncoder` is append-only
+    and grows across queries (new query constants, absorbed inserts), so the
+    base must be sampled **once per kernel call** and used for every operand
+    of that call — two operands packed at different bases compare
+    incompatible encodings.  Any base bounding every code is a bijection, so
+    a bigger-than-necessary base is always sound.
+    """
+    return max(2, len(relation.encoder))
+
+
+def _pack_token(positions: Tuple[int, ...], base: int) -> int:
+    """The cache-key component tying packed keys (and derived shards) to
+    their packing base.
+
+    Multi-column packings are only comparable when produced at the same
+    base, so their cache entries carry it: when the shared encoder has grown
+    since a store's keys were cached, the stale entry misses and the keys
+    are repacked at the current base.  Single-column keys are the raw column
+    — base-independent — so they keep one cache entry (token ``0``) across
+    encoder growth.
+    """
+    return base if len(positions) > 1 else 0
+
+
+def _shards_for(
+    relation: EncodedRelation, keys, positions, workers: int, token: int
+):
     """The hash shards of a build side, cached per store.
 
-    The shard layout depends only on the store contents, the key positions
-    and the worker count, so a warm serving path re-probing the same cached
-    scan amortises the shard build exactly like the serial path amortises
-    its :meth:`EncodedRelation.key_index`.
+    The shard layout depends only on the store contents, the key positions,
+    the worker count and — on the numpy path — the packing base behind
+    ``keys`` (``token``, see :func:`_pack_token`; pure-python sharding is
+    hash-based and passes ``0``), so a warm serving path re-probing the same
+    cached scan amortises the shard build exactly like the serial path
+    amortises its :meth:`EncodedRelation.key_index`.
     """
-    cache_key = ("parallel-shards", positions, workers)
+    cache_key = ("parallel-shards", positions, workers, token)
     cached = relation.store.caches.get(cache_key, _ABSENT)
     if cached is not _ABSENT:
         return cached
@@ -276,30 +320,36 @@ def _shards_for(relation: EncodedRelation, keys, positions, workers: int):
     return shards
 
 
-def _packed_keys(relation: EncodedRelation, positions: Tuple[int, ...]):
+def _packed_keys(relation: EncodedRelation, positions: Tuple[int, ...], base: int):
     """The per-row join keys as one numpy ``int64`` array, or ``None``.
 
     Single-column keys are the column itself.  Multi-column keys are packed
-    into one integer per row (codes are dense, so ``len(encoder)`` bounds
-    every column and mixed-radix packing is a bijection); when the packed
-    key space would overflow ``int64`` the kernel declines and the serial
-    path runs instead.  Both operands of a join share one encoder, so both
-    sides pack identically.
+    into one integer per row under the caller-supplied mixed-radix ``base``
+    (codes are dense, so any base bounding every code makes the packing a
+    bijection); when the packed key space would overflow ``int64`` the
+    kernel declines and the serial path runs instead.  The caller samples
+    the base **once** per kernel call (:func:`_pack_base`) and passes the
+    same value for every operand, so concurrent encoder growth between two
+    ``_packed_keys`` calls cannot desynchronize the operands.
 
     Cached per store, like :meth:`EncodedRelation.key_index`: cached scans
     are re-probed on every query of a warm serving path, and the packing
-    only depends on the (immutable) store contents.
+    depends only on the (immutable) store contents plus the base — which is
+    part of the cache key (:func:`_pack_token`), so entries packed before
+    the shared encoder grew are never served at the new base.
     """
-    cache_key = ("parallel-packed", positions)
+    cache_key = ("parallel-packed", positions, _pack_token(positions, base))
     cached = relation.store.caches.get(cache_key, _ABSENT)
     if cached is not _ABSENT:
         return cached
-    packed = _compute_packed_keys(relation, positions)
+    packed = _compute_packed_keys(relation, positions, base)
     relation.store.caches[cache_key] = packed
     return packed
 
 
-def _compute_packed_keys(relation: EncodedRelation, positions: Tuple[int, ...]):
+def _compute_packed_keys(
+    relation: EncodedRelation, positions: Tuple[int, ...], base: int
+):
     numpy = _numpy_module()
     columns = [
         numpy.asarray(relation.store.columns[p], dtype=numpy.int64)  # type: ignore[union-attr]
@@ -307,7 +357,6 @@ def _compute_packed_keys(relation: EncodedRelation, positions: Tuple[int, ...]):
     ]
     if len(columns) == 1:
         return columns[0]
-    base = max(2, len(relation.encoder))
     if base ** len(columns) >= 2 ** 62:
         return None
     packed = columns[0]
@@ -331,7 +380,7 @@ def shard_counts(
     positions = tuple(relation.position(v) for v in variables)
     counts = [0] * workers
     if relation.store.use_numpy:
-        packed = _packed_keys(relation, positions)
+        packed = _packed_keys(relation, positions, _pack_base(relation))
         if packed is not None:
             numpy = _numpy_module()
             histogram = numpy.bincount(packed % workers, minlength=workers)  # type: ignore[union-attr]
@@ -598,11 +647,14 @@ def parallel_join(
         return None
     bounds = _morsel_bounds(len(left), workers)
     if left.store.use_numpy:
-        left_keys = _packed_keys(left, left_key)
-        right_keys = _packed_keys(right, right_key)
+        base = _pack_base(left)
+        left_keys = _packed_keys(left, left_key, base)
+        right_keys = _packed_keys(right, right_key, base)
         if left_keys is None or right_keys is None:
             return None
-        shards = _shards_for(right, right_keys, right_key, workers)
+        shards = _shards_for(
+            right, right_keys, right_key, workers, _pack_token(right_key, base)
+        )
         results = _run_tasks(
             [
                 (_np_join_morsel, (left_keys[start:stop], start, shards, workers))
@@ -617,7 +669,7 @@ def parallel_join(
     else:
         left_keys = left._key_column(left_key)
         right_keys = right._key_column(right_key)
-        shards = _shards_for(right, right_keys, right_key, workers)
+        shards = _shards_for(right, right_keys, right_key, workers, 0)
         results = _run_tasks(
             [
                 (_py_join_morsel, (left_keys[start:stop], start, shards, workers))
@@ -655,11 +707,14 @@ def parallel_semijoin(
         return None
     bounds = _morsel_bounds(len(left), workers)
     if left.store.use_numpy:
-        left_keys = _packed_keys(left, left_key)
-        right_keys = _packed_keys(right, right_key)
+        base = _pack_base(left)
+        left_keys = _packed_keys(left, left_key, base)
+        right_keys = _packed_keys(right, right_key, base)
         if left_keys is None or right_keys is None:
             return None
-        shards = _shards_for(right, right_keys, right_key, workers)
+        shards = _shards_for(
+            right, right_keys, right_key, workers, _pack_token(right_key, base)
+        )
         results = _run_tasks(
             [
                 (_np_semijoin_morsel, (left_keys[start:stop], start, shards, workers))
@@ -673,7 +728,7 @@ def parallel_semijoin(
     else:
         left_keys = left._key_column(left_key)
         right_keys = right._key_column(right_key)
-        shards = _shards_for(right, right_keys, right_key, workers)
+        shards = _shards_for(right, right_keys, right_key, workers, 0)
         results = _run_tasks(
             [
                 (_py_semijoin_morsel, (left_keys[start:stop], start, shards, workers))
@@ -706,7 +761,7 @@ def parallel_project(
         return None
     bounds = _morsel_bounds(len(relation), workers)
     if relation.store.use_numpy:
-        keys = _packed_keys(relation, positions)
+        keys = _packed_keys(relation, positions, _pack_base(relation))
         if keys is None:
             return None
         results = _run_tasks(

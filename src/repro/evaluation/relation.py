@@ -155,9 +155,10 @@ class Partition:
     :meth:`Relation.apply_delta`, which patches the buckets in place to keep
     cached partitions synchronised with database mutations.
 
-    Bucket probes (:meth:`get` calls) are counted, per instance (``probes``)
-    and process-wide (``Partition.total_probes``).  The counters exist so
-    the streaming-enumeration tests and ``benchmarks/bench_enumeration.py``
+    Bucket probes (:meth:`get` calls) are counted, per instance (``probes``),
+    per thread (:meth:`thread_probes`) and process-wide
+    (``Partition.total_probes``).  The counters exist so the
+    streaming-enumeration tests and ``benchmarks/bench_enumeration.py``
     can *prove* bounded work — e.g. that the first answer of
     :meth:`repro.evaluation.yannakakis.YannakakisEvaluator.iter_answers`
     costs O(join-tree) probes while the materialising phase 4 pays one probe
@@ -165,6 +166,13 @@ class Partition:
     Membership checks (``key in partition``, the semi-join path) are
     deliberately *not* counted: the counters isolate enumeration/join work
     from the reduction passes.
+
+    The process-wide counter is updated under a lock (concurrent batch
+    scheduling probes from several threads at once; an unguarded ``+= 1``
+    loses updates), and the per-thread counter is what operators diff for
+    their own ``observed_probes`` — a query runs its operator tree on one
+    thread, so probes issued by concurrently scheduled queries can never
+    land inside another operator's delta.
     """
 
     __slots__ = ("positions", "buckets", "probes")
@@ -172,20 +180,42 @@ class Partition:
     #: Process-wide count of :meth:`get` probes across all partitions.
     total_probes: int = 0
 
-    #: Guards bulk :meth:`add_probes` aggregation from parallel kernels.
+    #: Guards every ``total_probes`` update (per-probe and bulk aggregation).
     _probe_lock = threading.Lock()
+
+    class _ThreadProbes(threading.local):
+        """Per-thread probe tally (the class attribute is each thread's
+        starting value)."""
+
+        count = 0
+
+    _thread = _ThreadProbes()
+
+    @classmethod
+    def count_probe(cls) -> None:
+        """Record one probe (thread-local and process-wide, exactly)."""
+        cls._thread.count += 1
+        with cls._probe_lock:
+            cls.total_probes += 1
 
     @classmethod
     def add_probes(cls, count: int) -> None:
-        """Aggregate ``count`` probes into the process-wide counter.
+        """Aggregate ``count`` probes into the counters.
 
         The parallel morsel kernels (:mod:`repro.evaluation.parallel`) never
         touch the counter from worker threads; the coordinator adds the
         per-operator aggregate once, under a lock, so the bounded-work
         assertions see the same totals the serial per-row probes produce.
         """
+        cls._thread.count += count
         with cls._probe_lock:
             cls.total_probes += count
+
+    @classmethod
+    def thread_probes(cls) -> int:
+        """The calling thread's probe count (monotone; diff around a call
+        to attribute its probes to one operator)."""
+        return cls._thread.count
 
     def __init__(self, positions: Tuple[int, ...], rows: Iterable[Row]) -> None:
         self.positions = positions
@@ -201,7 +231,7 @@ class Partition:
     def get(self, key: Row) -> Sequence[Row]:
         """The rows carrying ``key`` (empty when none do)."""
         self.probes += 1
-        Partition.total_probes += 1
+        Partition.count_probe()
         return self.buckets.get(key, ())
 
     def __len__(self) -> int:

@@ -163,12 +163,17 @@ class QueryService:
         # Plan-cache and raw-request-memo guard: concurrent submits (see
         # :meth:`submit_batch`) route through one consistent cache.
         self._plan_lock = threading.RLock()
-        # Materialised reads in flight.  Writes drain them first (see
-        # :meth:`insert`): a mutation waits for running submits to finish,
-        # then bumps the epoch — readers never observe a half-applied write,
-        # and open *streams* keep their own epoch guard.
+        # Reader-writer exclusion for materialised reads (see
+        # :meth:`insert`): a mutation blocks new submits, waits for running
+        # ones to finish, then mutates and bumps the epoch — readers never
+        # observe a half-applied write, and open *streams* keep their own
+        # epoch guard.  ``_writers`` counts pending-or-active writers (new
+        # readers wait while it is non-zero, so writers cannot starve);
+        # ``_writing`` serialises the writers themselves.
         self._idle = threading.Condition(threading.Lock())
         self._in_flight = 0
+        self._writers = 0
+        self._writing = False
         self._plans: Dict[PlanKey, _PlanEntry] = {}
         # Memo from the *raw* request (query, tgds, engine) to its plan key,
         # so repeat submissions of an already-seen query object skip the
@@ -236,11 +241,20 @@ class QueryService:
         return entry
 
     # ------------------------------------------------------------------
-    # In-flight tracking (writes drain materialised reads first)
+    # Reader-writer exclusion (writes block new reads, then drain old ones)
     # ------------------------------------------------------------------
     @contextmanager
     def _tracked(self):
+        """Reader side: register a materialised submit as in flight.
+
+        Entering waits out pending and active writers — without that gate a
+        submit could slip in between a writer's drain and its mutation and
+        scan concurrently with the write (check-then-act), caching scans
+        whose epoch stamp disagrees with the rows actually read.
+        """
         with self._idle:
+            while self._writers:
+                self._idle.wait()
             self._in_flight += 1
         try:
             yield
@@ -250,11 +264,28 @@ class QueryService:
                 if not self._in_flight:
                     self._idle.notify_all()
 
-    def _drain(self) -> None:
-        """Block until no materialised submit is running (write barrier)."""
+    @contextmanager
+    def _write_barrier(self):
+        """Writer side: exclusive access for one mutation.
+
+        Announces the writer first (blocking *new* readers), waits until the
+        in-flight readers have finished and no other writer is mutating,
+        then holds exclusivity for the body — a real reader-writer lock, not
+        a check-then-act drain.  Readers and queued writers are released on
+        exit.
+        """
         with self._idle:
-            while self._in_flight:
+            self._writers += 1
+            while self._in_flight or self._writing:
                 self._idle.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._writing = False
+                self._writers -= 1
+                self._idle.notify_all()
 
     # ------------------------------------------------------------------
     # Read path
@@ -391,26 +422,28 @@ class QueryService:
     def insert(self, atom: Atom) -> bool:
         """Add ``atom``; return whether it was new.  Epoch-bumping write.
 
-        Drains in-flight materialised submits first (:meth:`_drain`), so a
-        concurrently scheduled batch never reads around a half-applied
-        write; open streams are left to their own epoch guard, which fails
-        them loudly on the next pull.
+        Runs under the write barrier (:meth:`_write_barrier`): new
+        materialised submits are blocked, in-flight ones drained, and the
+        mutation applied under exclusivity — so a concurrently scheduled
+        batch never reads around a half-applied write; open streams are
+        left to their own epoch guard, which fails them loudly on the next
+        pull.
         """
-        self._drain()
-        added = self.database.add(atom)
-        if added:
-            self.writes += 1
+        with self._write_barrier():
+            added = self.database.add(atom)
+            if added:
+                self.writes += 1
         return added
 
     def delete(self, atom: Atom) -> bool:
         """Remove ``atom``; return whether it was present.  Epoch-bumping.
 
-        Drains in-flight materialised submits first, like :meth:`insert`.
+        Runs under the write barrier, like :meth:`insert`.
         """
-        self._drain()
-        removed = self.database.discard(atom)
-        if removed:
-            self.writes += 1
+        with self._write_barrier():
+            removed = self.database.discard(atom)
+            if removed:
+                self.writes += 1
         return removed
 
     # ------------------------------------------------------------------

@@ -148,7 +148,20 @@ def test_explain_renders_worker_and_shard_counts(monkeypatch):
     plan = _executed_parallel_plan(monkeypatch)
     rendering = render_plan(plan)
     assert "workers=4 shards=" in rendering
+    assert "morsels=" in rendering
     assert _parallel_nodes(plan), "no kernel ran parallel despite a zero gate"
+
+
+def test_parallel_meta_distinguishes_shards_from_morsels():
+    """``shards`` counts the build-side hash shards, ``morsels`` the probe
+    morsels — EXPLAIN must not label one as the other when they differ."""
+    meta = parallel_module.ParallelMeta("join", 4, (10, 20, 30), (15,) * 4, 60, 60)
+    assert meta.shards == 3
+    assert meta.morsels == 4
+    assert meta.describe() == "workers=4 shards=3 morsels=4"
+    unary = parallel_module.ParallelMeta("select", 4, (), (8, 8), 16, 0)
+    assert unary.shards == 0
+    assert unary.describe() == "workers=4 morsels=2"
 
 
 def test_verifier_passes_clean_parallel_plan(monkeypatch):
@@ -215,6 +228,99 @@ def test_probe_accounting_matches_serial(monkeypatch):
             f"probe accounting diverged at workers={workers}: "
             f"{counted} vs serial {serial_probes}"
         )
+
+
+def test_multi_column_packed_keys_track_encoder_growth(monkeypatch):
+    """A warm packed-key cache must repack after the shared encoder grows.
+
+    One join side can sit warm in a scan cache — its multi-column keys
+    packed at the encoder size of an earlier query — while the other side
+    is a fresh store packed at the current, larger size (new query
+    constants, absorbed inserts).  The mixed-radix base must therefore be
+    sampled once per kernel call and be part of the cache key; otherwise
+    the two sides compare incompatible encodings and shard routing
+    silently diverges.
+    """
+    pytest.importorskip("numpy")
+    monkeypatch.setenv("REPRO_NUMPY", "1")
+    monkeypatch.setattr(parallel_module, "PARALLEL_MIN_ROWS", 0)
+    encoder = TermEncoder()
+    schema = (Variable("x"), Variable("y"))
+    rows = [(Constant(i), Constant((i * 7) % 40)) for i in range(48)]
+    encoded_rows = [encoder.encode_row(row) for row in rows]
+    left = EncodedRelation.from_rows(schema, encoded_rows, encoder)
+
+    def parallel_rows(build):
+        result = parallel_module.parallel_join(
+            left, build, (0, 1), (0, 1), (), schema, 4
+        )
+        assert result is not None, "parallel kernel unexpectedly declined"
+        return result[0]._key_column((0, 1))
+
+    warm = EncodedRelation.from_rows(schema, encoded_rows[:24], encoder)
+    assert parallel_rows(warm) == left.join(warm)._key_column((0, 1))
+    # ``left``'s packed keys are now cached.  Grow the shared encoder, then
+    # join against a fresh store whose keys pack at the larger base.
+    for value in range(1000, 1400):
+        encoder.encode(Constant(value))
+    fresh = EncodedRelation.from_rows(schema, encoded_rows[8:], encoder)
+    assert parallel_rows(fresh) == left.join(fresh)._key_column((0, 1))
+
+
+# ----------------------------------------------------------------------
+# Probe accounting under concurrent scheduling
+# ----------------------------------------------------------------------
+def test_probe_counters_are_exact_under_concurrency():
+    """Concurrent probes must not lose process-wide updates, and each
+    thread's tally (what operators diff for ``observed_probes``) counts
+    exactly its own probes."""
+    partition = Partition((0,), [(value,) for value in range(4)])
+    barrier = threading.Barrier(8)
+
+    def hammer():
+        barrier.wait()
+        before = Partition.thread_probes()
+        for _ in range(5000):
+            partition.get((1,))
+        return Partition.thread_probes() - before
+
+    start = Partition.total_probes
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        deltas = [f.result() for f in [pool.submit(hammer) for _ in range(8)]]
+    assert deltas == [5000] * 8
+    assert Partition.total_probes - start == 8 * 5000
+
+
+def test_hash_join_observed_probes_ignore_other_threads():
+    """EXPLAIN's per-operator probe counts diff the thread-local counter,
+    so probes from concurrently scheduled queries never inflate them."""
+    query, database = yannakakis_scaling_workload(600, seed=3)
+
+    def observed(noisy):
+        scans = ScanCache(database)
+        evaluator = YannakakisEvaluator(query, scans)
+        plan = evaluator.compile_answer_plan()
+        context = ExecutionContext(database, scans)
+        if not noisy:
+            plan.materialize(context)
+        else:
+            stop = threading.Event()
+            partition = Partition((0,), [(value,) for value in range(8)])
+
+            def hammer():
+                while not stop.is_set():
+                    partition.get((3,))
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            try:
+                plan.materialize(context)
+            finally:
+                stop.set()
+                thread.join()
+        return [node.observed_probes for node in plan.walk()]
+
+    assert observed(noisy=False) == observed(noisy=True)
 
 
 # ----------------------------------------------------------------------

@@ -187,6 +187,58 @@ class TestReadWrite:
         codes = [d.code for d in service.verify()]
         assert "SVC001" in codes
 
+    def test_write_barrier_is_a_real_reader_writer_lock(self):
+        """A write waits for in-flight reads AND blocks new reads.
+
+        The "readers never observe a half-applied write" guarantee needs
+        real exclusion, not a check-then-act drain: a read entering after
+        the drain returned must not scan concurrently with the mutation.
+        """
+        import threading
+        import time
+
+        service = QueryService(_db((1, 2), (2, 3)))
+        reader_entered = threading.Event()
+        release_reader = threading.Event()
+        events = []
+
+        def slow_reader():
+            with service._tracked():
+                reader_entered.set()
+                assert release_reader.wait(5)
+                events.append("read-finished")
+
+        def late_reader():
+            with service._tracked():
+                # ``writes`` is bumped inside the barrier, so a reader that
+                # slipped past a merely-pending write would record 0 here.
+                events.append(("late-read", service.writes))
+
+        def wait_until(condition):
+            deadline = time.monotonic() + 5
+            while not condition() and time.monotonic() < deadline:
+                time.sleep(0.002)
+            assert condition()
+
+        threads = [threading.Thread(target=slow_reader)]
+        threads[0].start()
+        assert reader_entered.wait(5)
+        threads.append(threading.Thread(target=lambda: service.insert(_edge(3, 4))))
+        threads[1].start()
+        # The write queues behind the in-flight read without mutating...
+        wait_until(lambda: service._writers == 1)
+        assert service.writes == 0
+        # ...and a read arriving behind the pending write queues too.
+        threads.append(threading.Thread(target=late_reader))
+        threads[2].start()
+        time.sleep(0.05)
+        assert events == []
+        release_reader.set()
+        for thread in threads:
+            thread.join(5)
+        assert events == ["read-finished", ("late-read", 1)]
+        assert service.writes == 1
+
 
 # ----------------------------------------------------------------------
 # The shared registry and the REPRO_SERVICE seam
